@@ -1,0 +1,15 @@
+"""Regenerate the design-choice ablations."""
+
+from repro.experiments import ablations
+
+
+def test_ablations_regeneration(run_once, preset, benchmark):
+    result = run_once(ablations.run, preset)
+    rows = {
+        (r["series"], r["config"]): r for r in result.rows
+    }
+    assert (
+        rows[("l4-synergy", "23 MiB L3 (design)")]["l4_hit"]
+        > rows[("l4-synergy", "45 MiB L3 (baseline)")]["l4_hit"]
+    )
+    benchmark.extra_info["studies"] = len({r["series"] for r in result.rows})

@@ -1,0 +1,19 @@
+"""Regenerate the §V discussion studies."""
+
+from repro.experiments import discussion
+
+
+def test_discussion_regeneration(run_once, preset, benchmark):
+    result = run_once(discussion.run, preset)
+    series = {r["series"] for r in result.rows}
+    assert {
+        "split-l2",
+        "bigger-l2",
+        "l4-write-buffer",
+        "l4-prefetch-buffer",
+        "numa",
+        "tail-latency",
+    } <= series
+    tails = [r for r in result.rows if r["series"] == "tail-latency"]
+    assert all(r["within_slo"] for r in tails)
+    benchmark.extra_info["studies"] = len(series)

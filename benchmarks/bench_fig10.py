@@ -1,0 +1,13 @@
+"""Regenerate Figure 10: trading L3 capacity for cores."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_regeneration(run_once, benchmark):
+    result = run_once(fig10.run)
+    quantized = [r for r in result.rows if r["series"] == "smt-on-quantized"]
+    best = max(quantized, key=lambda r: r["improvement_pct"])
+    assert best["l3_mib_per_core"] == 1.0
+    assert best["cores"] == 23
+    assert abs(best["improvement_pct"] - 14.0) < 1.5
+    benchmark.extra_info["optimum_pct"] = best["improvement_pct"]

@@ -1,0 +1,10 @@
+"""Regenerate Figure 11: core-gain vs. cache-loss decomposition."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_regeneration(run_once, benchmark):
+    result = run_once(fig11.run)
+    nets = {r["l3_mib_per_core"]: r["net_pct"] for r in result.rows}
+    assert max(nets, key=nets.get) == 1.0
+    benchmark.extra_info["net_at_1MiB"] = nets[1.0]

@@ -1,0 +1,12 @@
+"""Regenerate Figure 12: the L4 design's physical accounting."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_regeneration(run_once, benchmark):
+    result = run_once(fig12.run)
+    rows = {r["capacity"]: r for r in result.rows}
+    assert rows["1 GiB"]["edram_dies"] == 8
+    assert rows["1 GiB"]["tad_entries_per_row"] == 28  # the Alloy layout
+    assert rows["1 GiB"]["controller_overhead_pct"] <= 1.0
+    benchmark.extra_info["capacities"] = len(result.rows)

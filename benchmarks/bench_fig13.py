@@ -1,0 +1,12 @@
+"""Regenerate Figure 13: the L4 capacity sweep (64 MiB - 8 GiB)."""
+
+from repro.experiments import fig13
+
+
+def test_fig13_regeneration(run_once, preset, benchmark):
+    result = run_once(fig13.run, preset)
+    rows = {r["l4_mib"]: r for r in result.rows}
+    assert rows[1024]["hit_rate"] > rows[64]["hit_rate"]
+    assert 0.25 < rows[1024]["hit_rate"] < 0.75  # paper: L4 filters ~50%
+    assert rows[8192]["heap_hit"] > rows[8192]["shard_hit"]
+    benchmark.extra_info["hit_at_1GiB"] = rows[1024]["hit_rate"]

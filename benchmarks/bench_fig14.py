@@ -1,0 +1,16 @@
+"""Regenerate Figure 14: the combined design across all scenarios."""
+
+from repro.experiments import fig14
+
+
+def test_fig14_regeneration(run_once, preset, benchmark):
+    result = run_once(fig14.run, preset)
+    rows = {(r["scenario"], r["l4_mib"]): r for r in result.rows}
+    base = rows[("baseline", 1024)]
+    assert abs(base["combined_pct"] - 27.0) < 5  # paper: +27%
+    assert abs(base["rebalance_pct"] - 14.0) < 2  # paper: +14%
+    assert rows[("pessimistic", 1024)]["combined_pct"] > 15  # paper: >23%
+    benchmark.extra_info["combined_1GiB_pct"] = base["combined_pct"]
+    benchmark.extra_info["future_1GiB_pct"] = rows[("future", 1024)][
+        "combined_pct"
+    ]

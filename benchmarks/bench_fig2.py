@@ -1,0 +1,13 @@
+"""Regenerate Figure 2: core scaling, SMT, huge pages, prefetching."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_regeneration(run_once, preset, benchmark):
+    result = run_once(fig2.run, preset)
+    by_series = {}
+    for row in result.rows:
+        by_series.setdefault(row["series"], []).append(row)
+    assert by_series["fig2b-smt-plt1"][0]["improvement_pct"] == 37.0
+    assert by_series["fig2a-core-scaling"][-1]["normalized_qps"] > 8
+    benchmark.extra_info["panels"] = len(by_series)

@@ -1,0 +1,10 @@
+"""Regenerate Figure 4: allocated footprint vs. core count."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_regeneration(run_once, benchmark):
+    result = run_once(fig4.run)
+    numeric = [r for r in result.rows if isinstance(r["cores"], int)]
+    assert all(r["heap_gib"] > 3 * r["code_gib"] for r in numeric)
+    benchmark.extra_info["core_points"] = len(numeric)

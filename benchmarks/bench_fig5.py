@@ -1,0 +1,13 @@
+"""Regenerate Figure 5: working set vs. thread count."""
+
+from repro.experiments import fig5
+
+
+def test_fig5_regeneration(run_once, preset, benchmark):
+    result = run_once(fig5.run, preset)
+    rows = result.rows
+    heap_growth = rows[-1]["heap_gib"] / rows[0]["heap_gib"]
+    shard_growth = rows[-1]["shard_gib"] / rows[0]["shard_gib"]
+    assert heap_growth < shard_growth
+    benchmark.extra_info["heap_growth_16t"] = round(heap_growth, 2)
+    benchmark.extra_info["shard_growth_16t"] = round(shard_growth, 2)

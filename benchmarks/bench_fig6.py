@@ -1,0 +1,14 @@
+"""Regenerate Figure 6: per-level MPKI and L3 capacity sweeps."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_regeneration(run_once, preset, benchmark):
+    result = run_once(fig6.run, preset)
+    hit = {r["x"]: r for r in result.rows if r["series"] == "fig6b-hit-rate"}
+    assert hit[16]["code"] > 0.9  # 16 MiB captures code
+    assert hit[1024]["heap"] > hit[32]["heap"]  # heap rewards GiB caches
+    assert hit[2048]["shard"] < 0.6  # shard stays hard
+    mpki = {r["x"]: r for r in result.rows if r["series"] == "fig6c-mpki"}
+    benchmark.extra_info["mpki_32MiB"] = mpki[32]["combined"]
+    benchmark.extra_info["mpki_1GiB"] = mpki[1024]["combined"]

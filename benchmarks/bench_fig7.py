@@ -1,0 +1,16 @@
+"""Regenerate Figure 7: associativity and block-size sensitivity."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_regeneration(run_once, preset, benchmark):
+    result = run_once(fig7.run, preset)
+    assoc = {
+        r["x"]: r["mpki_decrease_pct"]
+        for r in result.rows
+        if r["series"] == "fig7a-associativity"
+    }
+    assert assoc["L3"] < 6.0  # conflicts negligible at the L3
+    blocks = [r for r in result.rows if r["series"] == "fig7b-block-size"]
+    assert len(blocks) == 6
+    benchmark.extra_info["l1d_fa_gain_pct"] = assoc["L1D"]

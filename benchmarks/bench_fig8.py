@@ -1,0 +1,12 @@
+"""Regenerate Figure 8: IPC vs. L3 hit rate / AMAT, recovering Eq. 1."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_regeneration(run_once, benchmark):
+    result = run_once(fig8.run)
+    fit = next(r for r in result.rows if r["series"] == "fig8b-linear-fit")
+    assert abs(fit["amat_ns"] - (-8.62e-3)) < 5e-4
+    assert abs(fit["ipc"] - 1.78) < 0.09
+    benchmark.extra_info["slope"] = fit["amat_ns"]
+    benchmark.extra_info["intercept"] = fit["ipc"]

@@ -1,0 +1,11 @@
+"""Regenerate Figure 9: the QPS-vs-area design grid (150 points)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_regeneration(run_once, benchmark):
+    result = run_once(fig9.run)
+    assert len(result.rows) == 150
+    rows = {(r["cores"], r["l3_mib"]): r["qps"] for r in result.rows}
+    assert rows[(11, 13.5)] > rows[(9, 22.5)]  # the paper's iso-area callout
+    benchmark.extra_info["grid_points"] = len(result.rows)

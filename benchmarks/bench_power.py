@@ -1,0 +1,11 @@
+"""Regenerate the §IV-C power/energy accounting."""
+
+from repro.experiments import power
+
+
+def test_power_regeneration(run_once, preset, benchmark):
+    result = run_once(power.run, preset)
+    metrics = {r["metric"]: r["value"] for r in result.rows}
+    assert metrics["socket power increase (23 cores)"] == "+18.9%"
+    assert metrics["memory energy with L4 (vs without)"].startswith("-")
+    benchmark.extra_info["rows"] = len(result.rows)

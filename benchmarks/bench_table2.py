@@ -1,0 +1,9 @@
+"""Regenerate Table II: platform attributes."""
+
+from repro.experiments import table2
+
+
+def test_table2_regeneration(run_once, benchmark):
+    result = run_once(table2.run)
+    assert len(result.rows) == 9
+    benchmark.extra_info["rendered"] = result.render().count("\n")

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures.
+Experiment regenerations run once per benchmark (``rounds=1``) — they are
+end-to-end reproductions, not microbenchmarks — while the substrate
+benchmarks in ``bench_substrates.py`` use normal repetition.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments import RunPreset
+
+
+@pytest.fixture(scope="session")
+def preset():
+    """The preset used by all benchmark regenerations."""
+    return RunPreset.quick()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

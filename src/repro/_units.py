@@ -1,0 +1,68 @@
+"""Size and time units used throughout the library.
+
+The paper quotes capacities in KiB/MiB/GiB and latencies in nanoseconds.
+Keeping the conversions in one tiny module avoids magic numbers like
+``1 << 20`` scattered through simulator code.
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Nanoseconds are the base time unit of all latency models.
+NS: float = 1.0
+US: float = 1e3
+MS: float = 1e6
+
+
+def kib(n: float) -> int:
+    """Return ``n`` KiB expressed in bytes."""
+    return int(n * KiB)
+
+
+def mib(n: float) -> int:
+    """Return ``n`` MiB expressed in bytes."""
+    return int(n * MiB)
+
+
+def gib(n: float) -> int:
+    """Return ``n`` GiB expressed in bytes."""
+    return int(n * GiB)
+
+
+def format_size(num_bytes: float) -> str:
+    """Render a byte count using the largest binary unit that fits.
+
+    >>> format_size(45 * MiB)
+    '45 MiB'
+    >>> format_size(1536)
+    '1.5 KiB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {num_bytes}")
+    for unit, name in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if num_bytes >= unit:
+            value = num_bytes / unit
+            if value == int(value):
+                return f"{int(value)} {name}"
+            return f"{value:.4g} {name}"
+    return f"{int(num_bytes)} B"
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_exact(n: int) -> int:
+    """Return log2(n) for a power of two, raising otherwise.
+
+    Cache geometry code uses this to turn sizes into shift amounts; a
+    non-power-of-two indicates a configuration error, so failing loudly
+    beats silently rounding.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"expected a power of two, got {n}")
+    return n.bit_length() - 1

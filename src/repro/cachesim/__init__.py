@@ -1,0 +1,49 @@
+"""Trace-driven cache simulation.
+
+Two engines implement the paper's methodology (§III-A):
+
+* **exact** — functional set-associative LRU simulation with way-masking
+  (Intel CAT), optional inclusion with back-invalidation, and optional
+  prefetchers.  Used for L1/L2 studies and validation.
+* **analytic** — a single-pass reuse-distance / footprint-theory engine that
+  produces the entire LRU miss-ratio curve of a cache level from one numpy
+  pass, plus a vectorized exact direct-mapped engine for the L4.  Used for
+  the GiB-scale capacity sweeps, where the paper shows conflict misses are
+  negligible (Figure 7a).
+"""
+
+from repro.cachesim.cache import CacheGeometry, SetAssociativeCache
+from repro.cachesim.directmapped import simulate_direct_mapped
+from repro.cachesim.mattson import (
+    hit_rate_for_capacities,
+    stack_distances,
+)
+from repro.cachesim.opt import opt_hit_rate, simulate_opt
+from repro.cachesim.misscurve import MissRatioCurve
+from repro.cachesim.results import HierarchyResult, LevelStats
+from repro.cachesim.hierarchy import (
+    CacheLevelConfig,
+    HierarchyConfig,
+    simulate_hierarchy,
+)
+from repro.cachesim.prefetch import StreamPrefetcher
+from repro.cachesim.missclass import classify_misses, MissBreakdown
+
+__all__ = [
+    "CacheGeometry",
+    "SetAssociativeCache",
+    "simulate_direct_mapped",
+    "stack_distances",
+    "hit_rate_for_capacities",
+    "opt_hit_rate",
+    "simulate_opt",
+    "MissRatioCurve",
+    "HierarchyResult",
+    "LevelStats",
+    "CacheLevelConfig",
+    "HierarchyConfig",
+    "simulate_hierarchy",
+    "StreamPrefetcher",
+    "classify_misses",
+    "MissBreakdown",
+]

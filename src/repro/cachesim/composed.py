@@ -1,0 +1,271 @@
+"""Composable multi-level hierarchy simulation at production rates.
+
+This is the engine behind the paper-scale experiments.  Per-segment access
+streams (code / heap / shard / stack) are generated *independently* — each
+long enough to expose its own working set — and composed through the
+hierarchy at the workload's nominal touch rates:
+
+* **L1-I** (private): the code stream alone.
+* **L1-D** (private): heap + shard + stack composed at their rates.
+* **L2** (private, unified): the miss streams of both L1s, composed.
+* **L3** (shared): the L2 miss streams of all threads.  Threads sample the
+  same shared code/heap/shard distributions, so their union is the same
+  process at T-times the rate; stacks are private and enter with
+  multiplicity T.
+* **L4** (memory-side): the interleaved L3 miss streams (see
+  :mod:`repro.core.l4cache`).
+
+Every level is a :class:`~repro.cachesim.composition.CompositeCache`; the
+L3 can be re-solved at any capacity in microseconds, which is what makes
+the paper's 4 MiB → 8 GiB sweeps (Figures 6 and 13) cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cachesim.composition import (
+    CompositeCache,
+    StreamComponent,
+    merge_streams_by_rate,
+)
+from repro.cachesim.hierarchy import HierarchyConfig
+from repro.errors import ConfigurationError
+from repro.memtrace.trace import Segment
+
+
+@dataclass(frozen=True)
+class SegmentRates:
+    """Nominal unique-line touch rates per kilo-instruction, per thread.
+
+    These are the paper-realistic rates: instruction fetch advances roughly
+    one line per ~10 sequential instructions, while data segments touch only
+    a few *distinct* lines per kilo-instruction (repeat touches of a
+    resident line hit trivially and are not modeled).
+    """
+
+    code: float = 100.0
+    heap: float = 6.0
+    shard: float = 2.5
+    stack: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("code", "heap", "shard", "stack"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"rate {name} must be positive")
+
+    def of(self, segment: Segment) -> float:
+        return {
+            Segment.CODE: self.code,
+            Segment.HEAP: self.heap,
+            Segment.SHARD: self.shard,
+            Segment.STACK: self.stack,
+        }[segment]
+
+
+class ComposedHierarchy:
+    """Drives per-segment line streams through a composed hierarchy.
+
+    Parameters
+    ----------
+    streams:
+        Line-address arrays (at the hierarchy's block granularity) for each
+        segment, single-thread view.
+    rates:
+        Nominal per-thread touch rates.
+    config:
+        Cache hierarchy; all levels must share one block size.
+    threads:
+        Hardware threads sharing the L3.
+    """
+
+    def __init__(
+        self,
+        streams: dict[Segment, np.ndarray],
+        rates: SegmentRates,
+        config: HierarchyConfig,
+        threads: int = 1,
+    ) -> None:
+        if threads < 1:
+            raise ConfigurationError(f"threads must be >= 1, got {threads}")
+        blocks = {
+            level.geometry.block_size for level in config.levels()
+        }
+        if len(blocks) != 1:
+            raise ConfigurationError(
+                "composed simulation requires a uniform block size"
+            )
+        missing = {Segment.CODE, Segment.HEAP, Segment.SHARD} - set(streams)
+        if missing:
+            raise ConfigurationError(
+                f"streams missing for segments: {sorted(s.name for s in missing)}"
+            )
+        self.rates = rates
+        self.config = config
+        self.threads = threads
+        self.block_size = blocks.pop()
+
+        # ---- L1-I: code alone -------------------------------------------
+        code = StreamComponent(
+            "code", streams[Segment.CODE], rate=rates.code
+        )
+        self.l1i = CompositeCache([code], config.l1i.geometry.capacity_lines)
+
+        # ---- L1-D: data segments ----------------------------------------
+        data_components = [
+            StreamComponent("heap", streams[Segment.HEAP], rate=rates.heap),
+            StreamComponent("shard", streams[Segment.SHARD], rate=rates.shard),
+        ]
+        if Segment.STACK in streams:
+            data_components.append(
+                StreamComponent("stack", streams[Segment.STACK], rate=rates.stack)
+            )
+        self.l1d = CompositeCache(
+            data_components, config.l1d.geometry.capacity_lines
+        )
+
+        # ---- L2: both L1s' misses ----------------------------------------
+        l2_components = [
+            c
+            for c in (
+                self.l1i.miss_component("code"),
+                self.l1d.miss_component("heap"),
+                self.l1d.miss_component("shard"),
+                self.l1d.miss_component("stack")
+                if Segment.STACK in streams
+                else None,
+            )
+            if c is not None
+        ]
+        if not l2_components:
+            raise ConfigurationError("nothing missed the L1s; enlarge the streams")
+        self.l2 = CompositeCache(l2_components, config.l2.geometry.capacity_lines)
+
+        # ---- L3 inputs: all threads' L2 misses ----------------------------
+        self._l3_inputs: list[StreamComponent] = []
+        for name in ("code", "heap", "shard", "stack"):
+            if name not in self.l2.components:
+                continue
+            miss = self.l2.miss_component(name)
+            if miss is None:
+                continue
+            if name == "stack":
+                miss = StreamComponent(
+                    name=miss.name,
+                    lines=miss.lines,
+                    rate=miss.rate,
+                    multiplicity=threads,
+                )
+            else:
+                miss = miss.scaled_rate(threads)
+            self._l3_inputs.append(miss)
+        if not self._l3_inputs:
+            raise ConfigurationError("nothing missed the L2; enlarge the streams")
+
+        self.l3 = (
+            CompositeCache(
+                self._l3_inputs, config.l3.geometry.capacity_lines
+            )
+            if config.l3 is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _level(self, level: str) -> tuple[CompositeCache, float]:
+        """(cache, MPKI normalizer) for a level name."""
+        caches = {"L1I": (self.l1i, 1.0), "L1D": (self.l1d, 1.0), "L2": (self.l2, 1.0)}
+        if self.l3 is not None:
+            caches["L3"] = (self.l3, float(self.threads))
+        try:
+            return caches[level]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown level {level!r}; have {sorted(caches)}"
+            ) from None
+
+    def mpki(self, level: str, segment: Segment | None = None) -> float:
+        """MPKI at a level, total or for one segment; 0 for absent streams."""
+        cache, normalizer = self._level(level)
+        if segment is None:
+            return cache.total_mpki() / normalizer
+        name = segment.name.lower()
+        if name not in cache.components:
+            return 0.0
+        return cache.mpki(name) / normalizer
+
+    def hit_rate(self, level: str, segment: Segment) -> float:
+        """Hit rate of one segment's stream at a level."""
+        cache, __ = self._level(level)
+        name = segment.name.lower()
+        if name not in cache.components:
+            raise ConfigurationError(
+                f"segment {segment.name} does not reach {level}"
+            )
+        return cache.hit_rate(name)
+
+    # ------------------------------------------------------------------
+    # L3 capacity sweeps and the L4 demand stream
+    # ------------------------------------------------------------------
+
+    def l3_at(self, capacity_bytes: int) -> CompositeCache:
+        """Re-solve the shared L3 at another capacity (cheap)."""
+        lines = max(1, capacity_bytes // self.block_size)
+        return CompositeCache(self._l3_inputs, lines)
+
+    def l3_hit_rate(self, capacity_bytes: int, segment: Segment | None = None) -> float:
+        """Overall (rate-weighted) or per-segment L3 hit rate at a capacity."""
+        cache = self.l3_at(capacity_bytes)
+        if segment is not None:
+            name = segment.name.lower()
+            if name not in cache.components:
+                return 0.0
+            return cache.hit_rate(name)
+        total_rate = sum(c.total_rate for c in cache.components.values())
+        return sum(
+            c.total_rate * cache.hit_rate(name)
+            for name, c in cache.components.items()
+        ) / total_rate
+
+    def l3_mpki(self, capacity_bytes: int, segment: Segment | None = None) -> float:
+        """L3 MPKI at an arbitrary capacity (Figure 6c)."""
+        cache = self.l3_at(capacity_bytes)
+        if segment is None:
+            return cache.total_mpki() / self.threads
+        name = segment.name.lower()
+        if name not in cache.components:
+            return 0.0
+        return cache.mpki(name) / self.threads
+
+    def l4_demand(
+        self, l3_capacity_bytes: int, seed: int = 0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(lines, segments) of the L3 miss stream at a capacity.
+
+        This is the demand an L4 victim cache observes; segments are
+        :class:`~repro.memtrace.trace.Segment` values.
+        """
+        cache = self.l3_at(l3_capacity_bytes)
+        miss_components = [
+            cache.miss_component(name)
+            for name in cache.components
+        ]
+        miss_components = [c for c in miss_components if c is not None]
+        if not miss_components:
+            raise ConfigurationError("the L3 absorbed everything at this capacity")
+        rng = np.random.default_rng(seed)
+        lines, tags = merge_streams_by_rate(miss_components, rng)
+        name_to_segment = {
+            "code": Segment.CODE,
+            "heap": Segment.HEAP,
+            "shard": Segment.SHARD,
+            "stack": Segment.STACK,
+        }
+        segment_of_tag = np.array(
+            [int(name_to_segment[c.name]) for c in miss_components], np.uint8
+        )
+        return lines, segment_of_tag[tags]

@@ -1,0 +1,238 @@
+"""Shared-cache composition of concurrent access streams.
+
+**Why this exists.**  The paper's traces cover 135 *billion* instructions
+because production rates are extreme: code touches ~100 cache lines per
+kilo-instruction while the heap and shard touch only a handful — yet the
+heap's working set is a gigabyte.  A flat trace long enough to expose the
+heap curve at realistic rates is unsimulatable in Python.  Footprint theory
+solves this compositionally (Xiang et al., HOTL, ASPLOS'13): each stream's
+locality is measured once on its *own* densely-generated trace, and the
+shared cache is modeled by solving, for a capacity C, the global time
+window W at which the combined footprints fill the cache:
+
+    sum_i  k_i * fp_i(r_i * W)  =  C
+
+where ``r_i`` is stream i's access rate (per kilo-instruction), ``k_i`` its
+multiplicity (identical private instances, e.g. per-thread stacks), and
+``fp_i`` its average-footprint function.  A reuse by stream i then hits iff
+its own-stream reuse time is at most ``r_i * W``.
+
+This also makes thread scaling nearly free: threads drawing i.i.d. from the
+same shared distribution (heap objects, shard terms, code) compose as a
+single stream at T-times the rate, while private segments compose with
+multiplicity T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cachesim.misscurve import MissRatioCurve
+from repro.errors import ConfigurationError, TraceError
+
+
+@dataclass
+class StreamComponent:
+    """One access stream entering a shared cache.
+
+    Parameters
+    ----------
+    name:
+        Identifier used to retrieve per-stream results.
+    lines:
+        The stream's line addresses in its own program order.
+    rate:
+        Accesses per kilo-instruction contributed to the global interleave.
+    multiplicity:
+        Number of identical, mutually-private instances of this stream
+        (per-thread stacks); footprint scales by it, hit rates do not.
+    """
+
+    name: str
+    lines: np.ndarray
+    rate: float
+    multiplicity: int = 1
+    curve: MissRatioCurve = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate of {self.name!r} must be positive")
+        if self.multiplicity < 1:
+            raise ConfigurationError(
+                f"multiplicity of {self.name!r} must be >= 1"
+            )
+        if len(self.lines) == 0:
+            raise TraceError(f"stream {self.name!r} is empty")
+        self.curve = MissRatioCurve(self.lines)
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate rate including multiplicity."""
+        return self.rate * self.multiplicity
+
+    def scaled_rate(self, factor: float) -> "StreamComponent":
+        """Same stream at a different rate (e.g. T threads sharing it)."""
+        return StreamComponent(
+            name=self.name,
+            lines=self.lines,
+            rate=self.rate * factor,
+            multiplicity=self.multiplicity,
+        )
+
+
+class CompositeCache:
+    """A shared LRU cache serving several concurrent streams."""
+
+    def __init__(self, components: list[StreamComponent], capacity_lines: int):
+        if not components:
+            raise ConfigurationError("need at least one stream component")
+        names = [c.name for c in components]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate stream names: {names}")
+        if capacity_lines <= 0:
+            raise ConfigurationError("capacity_lines must be positive")
+        self.components = {c.name: c for c in components}
+        self.capacity_lines = capacity_lines
+        self._window = self._solve_window()
+
+    # ------------------------------------------------------------------
+
+    def _combined_footprint(self, window_ki: float) -> float:
+        """Sum of per-stream footprints over a global window (in KI)."""
+        return sum(
+            c.multiplicity * c.curve.footprint_clamped(c.rate * window_ki)
+            for c in self.components.values()
+        )
+
+    def _solve_window(self) -> float:
+        """Largest global window (KI) whose combined footprint fits."""
+        capacity = float(self.capacity_lines)
+        if self._combined_footprint(self._max_window()) <= capacity:
+            return self._max_window()
+        lo, hi = 0.0, self._max_window()
+        # ~60 bisection steps pin the window to full float precision.
+        for __ in range(60):
+            mid = (lo + hi) / 2.0
+            if self._combined_footprint(mid) <= capacity:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def _max_window(self) -> float:
+        return max(
+            len(c.lines) / c.rate for c in self.components.values()
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def global_window_ki(self) -> float:
+        """The solved residency window, in kilo-instructions."""
+        return self._window
+
+    def _component(self, name: str) -> StreamComponent:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no stream named {name!r}; have {sorted(self.components)}"
+            ) from None
+
+    def own_window(self, name: str) -> float:
+        """The residency window expressed in stream ``name``'s accesses."""
+        return self._component(name).rate * self._window
+
+    def hit_rate(self, name: str) -> float:
+        """Hit rate of one stream in the shared cache."""
+        component = self._component(name)
+        return component.curve.hit_rate_for_window(self.own_window(name))
+
+    def hit_mask(self, name: str) -> np.ndarray:
+        """Per-access hit mask of one stream."""
+        component = self._component(name)
+        return component.curve.hit_mask_for_window(self.own_window(name))
+
+    def miss_component(self, name: str) -> StreamComponent | None:
+        """The stream of this component's misses, with its demoted rate.
+
+        Returns None when the stream misses too rarely to carry meaningful
+        statistics downstream (fewer than 2 miss accesses).
+        """
+        component = self._component(name)
+        miss_mask = ~self.hit_mask(name)
+        miss_lines = component.lines[miss_mask]
+        if len(miss_lines) < 2:
+            return None
+        miss_fraction = len(miss_lines) / len(component.lines)
+        return StreamComponent(
+            name=name,
+            lines=miss_lines,
+            rate=component.rate * miss_fraction,
+            multiplicity=component.multiplicity,
+        )
+
+    def mpki(self, name: str) -> float:
+        """Misses per kilo-instruction of one stream (incl. multiplicity)."""
+        component = self._component(name)
+        return component.total_rate * (1.0 - self.hit_rate(name))
+
+    def total_mpki(self) -> float:
+        """Combined MPKI over all streams."""
+        return sum(self.mpki(name) for name in self.components)
+
+
+def merge_streams_by_rate(
+    components: list[StreamComponent],
+    rng: np.random.Generator,
+    minor_rate_fraction: float = 0.25,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interleave several streams into one global order by their rates.
+
+    Returns ``(lines, component_index)``.  The streams were generated with
+    independent lengths, so each is truncated to the number of events its
+    rate contributes over a common instruction span; each stream keeps its
+    internal order while the cross-stream ordering is a proportionate
+    random shuffle.  Used to build the L4's demand stream from per-segment
+    L3 miss streams.
+
+    The span is set by the *major* streams: components that together carry
+    at most ``minor_rate_fraction`` of the total rate may be shorter than
+    the span requires — they are included in full and end up somewhat
+    under-represented, which is harmless for the direct-mapped L4 study
+    (their events only perturb set conflicts).  Without this, one short
+    minor stream (e.g. the nearly-empty code miss stream) would truncate
+    every other stream to its own tiny span and destroy their reuse.
+    """
+    if not components:
+        raise ConfigurationError("need at least one stream to merge")
+    if not 0 <= minor_rate_fraction < 1:
+        raise ConfigurationError("minor_rate_fraction must be in [0, 1)")
+    total_rate = sum(c.rate for c in components)
+    # Walk candidate spans from shortest stream up; streams shorter than
+    # the candidate span are "minor" and must stay under the rate budget.
+    by_span = sorted(components, key=lambda c: len(c.lines) / c.rate)
+    span_ki = len(by_span[0].lines) / by_span[0].rate
+    minor_rate = 0.0
+    for position, component in enumerate(by_span[:-1]):
+        if (minor_rate + component.rate) / total_rate > minor_rate_fraction:
+            break
+        minor_rate += component.rate
+        successor = by_span[position + 1]
+        span_ki = len(successor.lines) / successor.rate
+
+    counts = [
+        max(1, min(len(c.lines), int(c.rate * span_ki))) for c in components
+    ]
+    truncated = [c.lines[:count] for c, count in zip(components, counts)]
+    total = sum(counts)
+    tags = np.concatenate(
+        [np.full(count, i, np.int32) for i, count in enumerate(counts)]
+    )
+    rng.shuffle(tags)
+    lines = np.empty(total, np.int64)
+    for i, lines_i in enumerate(truncated):
+        lines[tags == i] = lines_i
+    return lines, tags

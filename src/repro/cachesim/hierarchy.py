@@ -1,0 +1,398 @@
+"""Multi-level cache-hierarchy simulation.
+
+Drives a trace through per-thread private L1-I/L1-D/L2 caches and a shared
+L3 — the paper's simulated configuration (§III-A): "Each thread uses private
+L1 caches and a private L2 cache ... We model a 40 MiB, 20-way
+set-associative, unified L3 cache.  All caches use LRU."
+
+Two engines:
+
+* ``engine="exact"`` — per-access functional simulation using
+  :class:`~repro.cachesim.cache.SetAssociativeCache`, with optional inclusive
+  back-invalidation and optional per-level prefetchers.
+* ``engine="analytic"`` — vectorized fully-associative-LRU approximation via
+  :class:`~repro.cachesim.misscurve.MissRatioCurve`, justified by the paper's
+  Figure 7a (conflict misses beyond L1 under 1%).  Returns an
+  :class:`AnalyticHierarchyResult` that keeps the post-L2 stream and its
+  miss-ratio curve, so L3 capacity sweeps and L4 studies reuse the same pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro._units import KiB, MiB
+from repro.cachesim.cache import CacheGeometry, SetAssociativeCache
+from repro.cachesim.misscurve import MissRatioCurve
+from repro.cachesim.prefetch import PrefetcherBase
+from repro.cachesim.results import HierarchyResult, LevelStats
+from repro.errors import ConfigurationError, SimulationError
+from repro.memtrace.trace import AccessKind, Trace
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """One level of the hierarchy: a geometry plus whether it is shared."""
+
+    name: str
+    geometry: CacheGeometry
+    shared: bool = False
+
+    def scaled(self, factor: float) -> "CacheLevelConfig":
+        """Scale capacity by ``factor`` keeping associativity and block size.
+
+        Used to run paper-scale experiments at reduced ``scale``; sizes are
+        rounded to a whole number of sets.
+        """
+        geo = self.geometry
+        new_size = max(
+            geo.assoc * geo.block_size, int(geo.size * factor)
+        )
+        # Round down to a power-of-two set count.
+        sets = max(1, new_size // (geo.assoc * geo.block_size))
+        sets = 1 << (sets.bit_length() - 1)
+        return replace(
+            self,
+            geometry=CacheGeometry(
+                size=sets * geo.assoc * geo.block_size,
+                assoc=geo.assoc,
+                block_size=geo.block_size,
+                ways_enabled=geo.ways_enabled,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """A three-level hierarchy configuration (L4 is modeled separately).
+
+    ``inclusive`` enables L3 inclusion with back-invalidation of L1/L2 on L3
+    eviction — the property the paper notes makes CAT experiments slightly
+    conservative (§IV-B).  Only supported with uniform block sizes and the
+    exact engine.
+    """
+
+    l1i: CacheLevelConfig
+    l1d: CacheLevelConfig
+    l2: CacheLevelConfig
+    l3: CacheLevelConfig | None
+    inclusive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.l3 is not None and not self.l3.shared:
+            raise ConfigurationError("the L3 must be configured as shared")
+        if self.inclusive:
+            blocks = {
+                level.geometry.block_size
+                for level in (self.l1i, self.l1d, self.l2, self.l3)
+                if level is not None
+            }
+            if len(blocks) != 1:
+                raise ConfigurationError(
+                    "inclusive simulation requires a uniform block size"
+                )
+
+    def levels(self) -> tuple[CacheLevelConfig, ...]:
+        """All configured levels in lookup order."""
+        base = (self.l1i, self.l1d, self.l2)
+        return base + ((self.l3,) if self.l3 is not None else ())
+
+    def with_l3_ways(self, ways: int) -> "HierarchyConfig":
+        """Return a copy with CAT restricting the L3 to ``ways`` ways."""
+        if self.l3 is None:
+            raise ConfigurationError("hierarchy has no L3 to partition")
+        return replace(
+            self,
+            l3=replace(self.l3, geometry=self.l3.geometry.with_ways(ways)),
+        )
+
+    def with_l3_size(self, size: int, assoc: int | None = None) -> "HierarchyConfig":
+        """Return a copy with a different L3 capacity."""
+        if self.l3 is None:
+            raise ConfigurationError("hierarchy has no L3 to resize")
+        geo = self.l3.geometry
+        new_assoc = assoc if assoc is not None else geo.assoc
+        return replace(
+            self,
+            l3=replace(
+                self.l3,
+                geometry=CacheGeometry(size, new_assoc, geo.block_size),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Reference platforms (Table II)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def plt1_like(cls, l3_size: int = 40 * MiB, l3_assoc: int = 20) -> "HierarchyConfig":
+        """The paper's simulated PLT1-like system (§III-A).
+
+        32 KiB L1-I/L1-D and a 256 KiB unified L2 per thread, all 8-way, and
+        a shared L3 (40 MiB, 20-way by default), 64-byte blocks.
+        """
+        return cls(
+            l1i=CacheLevelConfig("L1I", CacheGeometry(32 * KiB, 8)),
+            l1d=CacheLevelConfig("L1D", CacheGeometry(32 * KiB, 8)),
+            l2=CacheLevelConfig("L2", CacheGeometry(256 * KiB, 8)),
+            l3=CacheLevelConfig("L3", CacheGeometry(l3_size, l3_assoc), shared=True),
+        )
+
+    @classmethod
+    def plt2_like(cls) -> "HierarchyConfig":
+        """A POWER8-like hierarchy (Table II): 128 B blocks, 64 KiB L1-D,
+        512 KiB L2, 96 MiB shared L3."""
+        return cls(
+            l1i=CacheLevelConfig("L1I", CacheGeometry(32 * KiB, 8, 128)),
+            l1d=CacheLevelConfig("L1D", CacheGeometry(64 * KiB, 8, 128)),
+            l2=CacheLevelConfig("L2", CacheGeometry(512 * KiB, 8, 128)),
+            l3=CacheLevelConfig(
+                "L3", CacheGeometry(96 * MiB, 8, 128), shared=True
+            ),
+        )
+
+    def scaled(self, factor: float) -> "HierarchyConfig":
+        """Scale every level's capacity by ``factor`` (for scaled runs)."""
+        return HierarchyConfig(
+            l1i=self.l1i.scaled(factor),
+            l1d=self.l1d.scaled(factor),
+            l2=self.l2.scaled(factor),
+            l3=self.l3.scaled(factor) if self.l3 else None,
+            inclusive=self.inclusive,
+        )
+
+
+class AnalyticHierarchyResult(HierarchyResult):
+    """Hierarchy result that retains the post-L2 stream for reuse.
+
+    ``l3_curve`` is the miss-ratio curve of the stream entering the L3:
+  	calling :meth:`l3_sweep` evaluates any number of L3 capacities without
+    re-simulating, and :meth:`l3_miss_stream` yields the victim stream an L4
+    cache would observe at a chosen L3 capacity.
+    """
+
+    def __init__(
+        self,
+        levels: dict[str, LevelStats],
+        instruction_count: int,
+        trace: Trace,
+        l3_indices: np.ndarray,
+        l3_curve: MissRatioCurve | None,
+        l3_block_size: int,
+    ) -> None:
+        super().__init__(levels=levels, instruction_count=instruction_count)
+        self.trace = trace
+        self.l3_indices = l3_indices
+        self.l3_curve = l3_curve
+        self.l3_block_size = l3_block_size
+
+    def _require_curve(self) -> MissRatioCurve:
+        if self.l3_curve is None:
+            raise SimulationError("hierarchy was simulated without an L3")
+        return self.l3_curve
+
+    def l3_sweep(self, capacities_bytes: list[int]) -> dict[int, LevelStats]:
+        """Per-capacity L3 stats for a capacity sweep (Figure 6b/6c)."""
+        curve = self._require_curve()
+        segments = self.trace.segment[self.l3_indices]
+        kinds = self.trace.kind[self.l3_indices]
+        out: dict[int, LevelStats] = {}
+        for capacity in capacities_bytes:
+            lines = max(1, capacity // self.l3_block_size)
+            hits = curve.hit_mask(lines)
+            stats = LevelStats(name="L3")
+            stats.record_arrays(segments, kinds, hits)
+            out[capacity] = stats
+        return out
+
+    def l3_miss_stream(
+        self, l3_capacity_bytes: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(lines, segments, kinds) of L3 misses at the given capacity.
+
+        This is the demand stream seen by a memory-side L4 victim cache.
+        """
+        curve = self._require_curve()
+        lines_cap = max(1, l3_capacity_bytes // self.l3_block_size)
+        miss = curve.miss_mask(lines_cap)
+        idx = self.l3_indices[miss]
+        lines = (self.trace.addr[idx] >> np.uint64(
+            self.l3_block_size.bit_length() - 1
+        )).astype(np.int64)
+        return lines, self.trace.segment[idx], self.trace.kind[idx]
+
+
+def simulate_hierarchy(
+    trace: Trace,
+    config: HierarchyConfig,
+    engine: str = "exact",
+    prefetchers: dict[str, PrefetcherBase] | None = None,
+) -> HierarchyResult:
+    """Simulate a trace through the hierarchy; see module docstring."""
+    if len(trace) == 0:
+        raise SimulationError("cannot simulate an empty trace")
+    if engine == "exact":
+        return _simulate_exact(trace, config, prefetchers or {})
+    if engine == "analytic":
+        if prefetchers:
+            raise ConfigurationError(
+                "prefetchers are only supported by the exact engine"
+            )
+        return _simulate_analytic(trace, config)
+    raise ConfigurationError(f"unknown engine {engine!r}")
+
+
+# ----------------------------------------------------------------------
+# Exact engine
+# ----------------------------------------------------------------------
+
+
+def _shift(geometry: CacheGeometry) -> int:
+    return geometry.block_size.bit_length() - 1
+
+
+def _simulate_exact(
+    trace: Trace,
+    config: HierarchyConfig,
+    prefetchers: dict[str, PrefetcherBase],
+) -> HierarchyResult:
+    unknown = set(prefetchers) - {"L1I", "L1D", "L2", "L3"}
+    if unknown:
+        raise ConfigurationError(f"prefetchers for unknown levels: {unknown}")
+
+    threads = trace.thread_ids()
+    l1i = {t: SetAssociativeCache(config.l1i.geometry) for t in threads}
+    l1d = {t: SetAssociativeCache(config.l1d.geometry) for t in threads}
+    l2 = {t: SetAssociativeCache(config.l2.geometry) for t in threads}
+    l3 = SetAssociativeCache(config.l3.geometry) if config.l3 else None
+
+    stats = {
+        name: LevelStats(name=name)
+        for name in ("L1I", "L1D", "L2") + (("L3",) if l3 else ())
+    }
+    s1 = _shift(config.l1i.geometry)
+    s1d = _shift(config.l1d.geometry)
+    s2 = _shift(config.l2.geometry)
+    s3 = _shift(config.l3.geometry) if config.l3 else 0
+
+    addr_list = trace.addr.tolist()
+    kind_list = trace.kind.tolist()
+    seg_list = trace.segment.tolist()
+    thr_list = trace.thread.tolist()
+    instr = int(AccessKind.INSTR)
+    inclusive = config.inclusive
+
+    pf = {name: prefetchers.get(name) for name in ("L1I", "L1D", "L2", "L3")}
+
+    for addr, kind, seg, thr in zip(addr_list, kind_list, seg_list, thr_list):
+        if kind == instr:
+            cache, shift, name = l1i[thr], s1, "L1I"
+        else:
+            cache, shift, name = l1d[thr], s1d, "L1D"
+        line = addr >> shift
+        hit, __ = cache.access(line)
+        stats[name].record(seg, kind, hit)
+        if hit:
+            continue
+        pf1 = pf[name]
+        if pf1 is not None:
+            for p in pf1.on_miss(line):
+                cache.fill(p)
+
+        line2 = addr >> s2
+        hit, __ = l2[thr].access(line2)
+        stats["L2"].record(seg, kind, hit)
+        if not hit and pf["L2"] is not None:
+            for p in pf["L2"].on_miss(line2):
+                l2[thr].fill(p)
+        if hit or l3 is None:
+            continue
+
+        line3 = addr >> s3
+        hit, victim = l3.access(line3)
+        stats["L3"].record(seg, kind, hit)
+        if not hit and pf["L3"] is not None:
+            for p in pf["L3"].on_miss(line3):
+                l3.fill(p)
+        if inclusive and victim is not None:
+            # Back-invalidate the evicted line everywhere above the L3.
+            for caches in (l1i, l1d, l2):
+                for c in caches.values():
+                    c.invalidate(victim)
+
+    return HierarchyResult(levels=stats, instruction_count=trace.instruction_count)
+
+
+# ----------------------------------------------------------------------
+# Analytic engine
+# ----------------------------------------------------------------------
+
+
+def _level_pass(
+    trace: Trace,
+    indices: np.ndarray,
+    geometry: CacheGeometry,
+    stats: LevelStats,
+) -> np.ndarray:
+    """Run one cache level analytically; return the miss indices."""
+    lines = (trace.addr[indices] >> np.uint64(_shift(geometry))).astype(np.int64)
+    curve = MissRatioCurve(lines)
+    hits = curve.hit_mask(geometry.capacity_lines)
+    stats.record_arrays(trace.segment[indices], trace.kind[indices], hits)
+    return indices[~hits]
+
+
+def _simulate_analytic(trace: Trace, config: HierarchyConfig) -> HierarchyResult:
+    stats = {
+        name: LevelStats(name=name)
+        for name in ("L1I", "L1D", "L2") + (("L3",) if config.l3 else ())
+    }
+    is_instr = trace.kind == AccessKind.INSTR
+
+    l2_parts: list[np.ndarray] = []
+    for t in trace.thread_ids():
+        of_thread = trace.thread == np.uint16(t)
+        instr_idx = np.flatnonzero(of_thread & is_instr)
+        data_idx = np.flatnonzero(of_thread & ~is_instr)
+        misses: list[np.ndarray] = []
+        if len(instr_idx):
+            misses.append(
+                _level_pass(trace, instr_idx, config.l1i.geometry, stats["L1I"])
+            )
+        if len(data_idx):
+            misses.append(
+                _level_pass(trace, data_idx, config.l1d.geometry, stats["L1D"])
+            )
+        if not misses:
+            continue
+        l2_in = np.sort(np.concatenate(misses))
+        if len(l2_in):
+            l2_parts.append(
+                _level_pass(trace, l2_in, config.l2.geometry, stats["L2"])
+            )
+
+    l3_idx = (
+        np.sort(np.concatenate(l2_parts)) if l2_parts else np.empty(0, np.int64)
+    )
+    l3_curve = None
+    l3_block = 64
+    if config.l3 is not None and len(l3_idx):
+        geo = config.l3.geometry
+        l3_block = geo.block_size
+        lines = (trace.addr[l3_idx] >> np.uint64(_shift(geo))).astype(np.int64)
+        l3_curve = MissRatioCurve(lines)
+        hits = l3_curve.hit_mask(geo.capacity_lines)
+        stats["L3"].record_arrays(
+            trace.segment[l3_idx], trace.kind[l3_idx], hits
+        )
+
+    return AnalyticHierarchyResult(
+        levels=stats,
+        instruction_count=trace.instruction_count,
+        trace=trace,
+        l3_indices=l3_idx,
+        l3_curve=l3_curve,
+        l3_block_size=l3_block,
+    )

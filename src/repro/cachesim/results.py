@@ -1,0 +1,188 @@
+"""Result containers for cache simulation.
+
+The paper reports everything as hit rates and misses-per-kilo-instruction
+(MPKI), broken down by software segment (code / heap / shard / stack) and by
+access kind (instruction vs. load) — e.g. Table I's "L2$ instr MPKI" and
+"L3$ load MPKI", and Figure 6's per-segment curves.  :class:`LevelStats`
+tracks an access/miss matrix over (segment, kind) so every such slice is one
+method call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.memtrace.trace import AccessKind, Segment
+
+
+@dataclass
+class LevelStats:
+    """Access and miss counts of one cache level, by (segment, kind)."""
+
+    name: str
+    accesses: np.ndarray = field(
+        default_factory=lambda: np.zeros((len(Segment), len(AccessKind)), np.int64)
+    )
+    misses: np.ndarray = field(
+        default_factory=lambda: np.zeros((len(Segment), len(AccessKind)), np.int64)
+    )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, segment: int, kind: int, hit: bool) -> None:
+        """Record one access (exact-engine path)."""
+        self.accesses[segment, kind] += 1
+        if not hit:
+            self.misses[segment, kind] += 1
+
+    def record_arrays(
+        self, segments: np.ndarray, kinds: np.ndarray, hits: np.ndarray
+    ) -> None:
+        """Record a batch of accesses (analytic-engine path)."""
+        if not (len(segments) == len(kinds) == len(hits)):
+            raise SimulationError("segment/kind/hit arrays must align")
+        flat = segments.astype(np.int64) * len(AccessKind) + kinds
+        counts = np.bincount(flat, minlength=self.accesses.size)
+        self.accesses += counts.reshape(self.accesses.shape)
+        miss_counts = np.bincount(flat[~hits], minlength=self.misses.size)
+        self.misses += miss_counts.reshape(self.misses.shape)
+
+    def merged(self, other: "LevelStats") -> "LevelStats":
+        """Combine two stats objects (e.g. per-thread private caches)."""
+        if other.name != self.name:
+            raise SimulationError(
+                f"cannot merge stats of {self.name!r} and {other.name!r}"
+            )
+        return LevelStats(
+            name=self.name,
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+        )
+
+    # ------------------------------------------------------------------
+    # Totals and slices
+    # ------------------------------------------------------------------
+
+    @property
+    def total_accesses(self) -> int:
+        return int(self.accesses.sum())
+
+    @property
+    def total_misses(self) -> int:
+        return int(self.misses.sum())
+
+    def accesses_for(
+        self,
+        segments: tuple[Segment, ...] | None = None,
+        kinds: tuple[AccessKind, ...] | None = None,
+    ) -> int:
+        """Access count restricted to the given segments and kinds."""
+        return int(self._slice(self.accesses, segments, kinds).sum())
+
+    def misses_for(
+        self,
+        segments: tuple[Segment, ...] | None = None,
+        kinds: tuple[AccessKind, ...] | None = None,
+    ) -> int:
+        """Miss count restricted to the given segments and kinds."""
+        return int(self._slice(self.misses, segments, kinds).sum())
+
+    @staticmethod
+    def _slice(matrix, segments, kinds):
+        seg_idx = [int(s) for s in segments] if segments else slice(None)
+        sub = matrix[seg_idx, :]
+        if kinds:
+            sub = sub[:, [int(k) for k in kinds]]
+        return sub
+
+    # ------------------------------------------------------------------
+    # Rates
+    # ------------------------------------------------------------------
+
+    def hit_rate(
+        self,
+        segments: tuple[Segment, ...] | None = None,
+        kinds: tuple[AccessKind, ...] | None = None,
+    ) -> float:
+        """Hit rate over the selected slice; raises on an empty slice."""
+        accesses = self.accesses_for(segments, kinds)
+        if accesses == 0:
+            raise SimulationError(
+                f"no accesses recorded at {self.name} for the requested slice"
+            )
+        return 1.0 - self.misses_for(segments, kinds) / accesses
+
+    def mpki(
+        self,
+        instruction_count: int,
+        segments: tuple[Segment, ...] | None = None,
+        kinds: tuple[AccessKind, ...] | None = None,
+    ) -> float:
+        """Misses per kilo-instruction over the selected slice."""
+        if instruction_count <= 0:
+            raise SimulationError("instruction_count must be positive for MPKI")
+        return self.misses_for(segments, kinds) / (instruction_count / 1000.0)
+
+
+@dataclass
+class HierarchyResult:
+    """Per-level statistics of one hierarchy simulation."""
+
+    levels: dict[str, LevelStats]
+    instruction_count: int
+
+    def __post_init__(self) -> None:
+        if self.instruction_count <= 0:
+            raise SimulationError("instruction_count must be positive")
+
+    def level(self, name: str) -> LevelStats:
+        """Stats of one level by name (e.g. ``"L2"``)."""
+        try:
+            return self.levels[name]
+        except KeyError:
+            raise SimulationError(
+                f"no level named {name!r}; have {sorted(self.levels)}"
+            ) from None
+
+    # Convenience accessors for the paper's headline metrics ------------
+
+    def instr_mpki(self, level: str) -> float:
+        """Instruction-fetch MPKI at a level (Table I "L2$ instr MPKI")."""
+        return self.level(level).mpki(
+            self.instruction_count, kinds=(AccessKind.INSTR,)
+        )
+
+    def load_mpki(self, level: str) -> float:
+        """Load MPKI at a level (Table I "L3$ load MPKI")."""
+        return self.level(level).mpki(
+            self.instruction_count, kinds=(AccessKind.LOAD,)
+        )
+
+    def data_mpki(self, level: str) -> float:
+        """Load + store MPKI at a level."""
+        return self.level(level).mpki(
+            self.instruction_count, kinds=(AccessKind.LOAD, AccessKind.STORE)
+        )
+
+    def segment_mpki(self, level: str, segment: Segment) -> float:
+        """MPKI of one software segment at a level (Figure 6)."""
+        return self.level(level).mpki(self.instruction_count, segments=(segment,))
+
+    def render(self) -> str:
+        """Multi-line text table of MPKI per level and segment."""
+        rows = [f"{'level':<6} {'total MPKI':>10} " + " ".join(
+            f"{seg.name.lower():>8}" for seg in Segment
+        )]
+        for name, stats in self.levels.items():
+            per_seg = " ".join(
+                f"{stats.mpki(self.instruction_count, segments=(seg,)):8.2f}"
+                for seg in Segment
+            )
+            total = stats.mpki(self.instruction_count)
+            rows.append(f"{name:<6} {total:10.2f} {per_seg}")
+        return "\n".join(rows)

@@ -1,0 +1,130 @@
+"""The paper's measurement-calibrated performance model (§III-D, Eq. 1).
+
+The paper establishes two facts that make search performance analytically
+tractable: (1) per-thread memory-level parallelism in the L3 is so low that
+IPC is *linear* in the L3 average memory access time (Figure 8b), and
+(2) hit rates and latencies are therefore sufficient to evaluate any
+post-L2 hierarchy (Eq. 1):
+
+    IPC = -8.62e-3 * AMAT_L3 + 1.78
+    AMAT_L3 = h_L3 * t_L3 + (1 - h_L3) * t_MEM
+
+With an L4, the miss path is refined (§IV-C):
+
+    AMAT_L3 = h_L3 * t_L3
+            + (1 - h_L3) * [h_L4 * t_L4 + (1 - h_L4) * (t_MEM + p_MISS)]
+
+where ``p_MISS`` is zero when L4 tag lookup is overlapped with main-memory
+scheduling (the paper's design) and 5 ns in the pessimistic scenario.
+
+Default latencies are chosen so the model's AMAT span matches the 50–70 ns
+range the paper exercised on PLT1 (Figure 8b) at its measured 53–73% hit
+rates; the slope/intercept are the paper's exact published constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryLatencies:
+    """Post-L2 latency parameters in nanoseconds."""
+
+    l3_hit_ns: float = 36.0
+    mem_ns: float = 110.0
+    l4_hit_ns: float = 40.0
+    #: Extra main-memory latency on L4 misses when L4 lookup is NOT
+    #: overlapped with memory scheduling (pessimistic scenario: 5 ns).
+    l4_miss_penalty_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("l3_hit_ns", "mem_ns", "l4_hit_ns"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.l4_miss_penalty_ns < 0:
+            raise ConfigurationError("l4_miss_penalty_ns must be >= 0")
+
+    def pessimistic(self) -> "MemoryLatencies":
+        """The paper's pessimistic L4 scenario: 60 ns hit, 5 ns penalty."""
+        return replace(self, l4_hit_ns=60.0, l4_miss_penalty_ns=5.0)
+
+    def future(self) -> "MemoryLatencies":
+        """The paper's future scenario: memory latency grown by 10%."""
+        return replace(self, mem_ns=self.mem_ns * 1.10)
+
+
+@dataclass(frozen=True)
+class SearchPerfModel:
+    """Linear IPC/QPS model anchored on the paper's Eq. 1."""
+
+    slope_per_ns: float = -8.62e-3
+    intercept: float = 1.78
+    latencies: MemoryLatencies = MemoryLatencies()
+
+    def __post_init__(self) -> None:
+        if self.slope_per_ns >= 0:
+            raise ConfigurationError("slope must be negative (latency hurts)")
+        if self.intercept <= 0:
+            raise ConfigurationError("intercept must be positive")
+
+    # ------------------------------------------------------------------
+
+    def amat_ns(self, l3_hit_rate: float, l4_hit_rate: float | None = None) -> float:
+        """Post-L2 average memory access time.
+
+        ``l4_hit_rate`` is the *local* hit rate of the L4 over the L3 miss
+        stream; None means no L4 is present.
+        """
+        _check_rate("l3_hit_rate", l3_hit_rate)
+        lat = self.latencies
+        if l4_hit_rate is None:
+            miss_ns = lat.mem_ns
+        else:
+            _check_rate("l4_hit_rate", l4_hit_rate)
+            miss_ns = l4_hit_rate * lat.l4_hit_ns + (1.0 - l4_hit_rate) * (
+                lat.mem_ns + lat.l4_miss_penalty_ns
+            )
+        return l3_hit_rate * lat.l3_hit_ns + (1.0 - l3_hit_rate) * miss_ns
+
+    def ipc(self, amat_ns: float) -> float:
+        """Eq. 1: per-thread IPC from AMAT; clamped to stay positive."""
+        if amat_ns <= 0:
+            raise ConfigurationError(f"amat_ns must be positive, got {amat_ns}")
+        return max(0.05, self.slope_per_ns * amat_ns + self.intercept)
+
+    def ipc_from_hit_rates(
+        self, l3_hit_rate: float, l4_hit_rate: float | None = None
+    ) -> float:
+        """Convenience: hit rates → AMAT → IPC."""
+        return self.ipc(self.amat_ns(l3_hit_rate, l4_hit_rate))
+
+    def qps(
+        self,
+        cores: int,
+        l3_hit_rate: float,
+        l4_hit_rate: float | None = None,
+        smt_factor: float = 1.0,
+    ) -> float:
+        """Relative throughput: cores x per-thread IPC x SMT boost.
+
+        QPS is proportional to aggregate instruction throughput because the
+        per-query instruction path length is workload-constant (§II-A) —
+        the same argument the paper uses to equate IPC and QPS gains.
+        """
+        if cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {cores}")
+        if smt_factor <= 0:
+            raise ConfigurationError("smt_factor must be positive")
+        return cores * self.ipc_from_hit_rates(l3_hit_rate, l4_hit_rate) * smt_factor
+
+    def with_latencies(self, latencies: MemoryLatencies) -> "SearchPerfModel":
+        """Copy of the model with different latency parameters."""
+        return replace(self, latencies=latencies)
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")

@@ -1,0 +1,203 @@
+"""Top-Down slot accounting (Yasin 2014), as used in the paper's Figure 3.
+
+The paper's Figure 3 breaks a 4-wide PLT1 leaf into: retiring 32%,
+bad speculation 15.4%, front-end latency 13.8%, front-end bandwidth 8.5%,
+back-end memory 20.5%, back-end core 9.7%.
+
+The model converts per-kilo-instruction event rates into cycles per
+instruction (CPI) components with per-event penalties, then into slot
+fractions.  On an n-wide machine, total slots are ``cycles * n``; retired
+slots are the instruction count, so the retiring fraction is
+``1 / (CPI_total * n)`` — for IPC 1.27 on a 4-wide core that is 31.8%,
+matching the paper's 32% retiring share exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PipelineMetrics:
+    """Per-kilo-instruction event rates feeding the Top-Down model."""
+
+    branch_mispredict_mpki: float
+    #: L1-I misses that hit L2.
+    l1i_mpki: float
+    #: Instruction fetches that miss the L2 (hit L3 or beyond).
+    l2i_mpki: float
+    #: Data accesses that miss the L2 and hit L3.
+    l2d_mpki: float
+    #: Data accesses that miss the L3 (served by memory).
+    l3d_mpki: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "branch_mispredict_mpki",
+            "l1i_mpki",
+            "l2i_mpki",
+            "l2d_mpki",
+            "l3d_mpki",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class TopDownBreakdown:
+    """Slot fractions of the six level-2 Top-Down categories (sum to 1)."""
+
+    retiring: float
+    bad_speculation: float
+    frontend_latency: float
+    frontend_bandwidth: float
+    backend_memory: float
+    backend_core: float
+
+    def __post_init__(self) -> None:
+        total = sum(self.as_dict().values())
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigurationError(f"fractions must sum to 1, got {total}")
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "retiring": self.retiring,
+            "bad_speculation": self.bad_speculation,
+            "frontend_latency": self.frontend_latency,
+            "frontend_bandwidth": self.frontend_bandwidth,
+            "backend_memory": self.backend_memory,
+            "backend_core": self.backend_core,
+        }
+
+    @property
+    def memory_bound_upper_gain(self) -> float:
+        """Upper-bound speedup from eliminating all memory stalls.
+
+        The paper's §II-F: converting the ~21% of memory slots to retired
+        slots would add ~64% to the retired instruction count.
+        """
+        return self.backend_memory / self.retiring
+
+    def render(self) -> str:
+        """One line per category, in percent."""
+        return "\n".join(
+            f"{name:<20} {fraction * 100:5.1f}%"
+            for name, fraction in self.as_dict().items()
+        )
+
+
+@dataclass(frozen=True)
+class TopDownModel:
+    """Event-rate → slot-fraction conversion with per-event penalties.
+
+    Penalties are *effective* cycles per event — what a miss costs after the
+    machine's own latency hiding — not raw latencies.  The
+    :meth:`haswell_smt2` instance is fitted so that the paper's measured S1
+    event rates reproduce Figure 3's slot shares and Table I's IPC exactly;
+    :meth:`haswell_single` uses a single-thread memory penalty (no co-thread
+    filling stall slots), which is what lets the same model land mcf at
+    IPC ~0.15 and perlbench near 2.7.
+
+    ``mlp`` divides the memory penalty for workloads with overlapping
+    misses; the paper finds search has almost none (§III-D), so 1.0.
+    """
+
+    width: int = 4
+    branch_penalty: float = 13.5
+    #: L1-I miss that hits the L2 (fetch bubbles mostly hidden by the
+    #: decoded-uop queue and fetch-ahead).
+    l1i_penalty: float = 1.5
+    #: Instruction fetch that misses the L2 and hits the L3.
+    l2i_penalty: float = 5.0
+    #: Data access that misses the L2 and hits the L3.
+    l2d_penalty: float = 20.0
+    #: Data access served by main memory.
+    memory_penalty: float = 110.0
+    mlp: float = 1.0
+    #: Dispatch inefficiencies (decode gaps, fusion limits) as slots lost
+    #: per retired instruction; feeds front-end bandwidth.
+    frontend_bandwidth_slots_per_instr: float = 0.268
+    #: Execution serialization (divides, long dependency chains) in cycles
+    #: per kilo-instruction; feeds back-end core.
+    core_cycles_per_ki: float = 76.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ConfigurationError("width must be >= 1")
+        if self.mlp < 1:
+            raise ConfigurationError("mlp must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Fitted instances
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def haswell_smt2(cls) -> "TopDownModel":
+        """PLT1 with SMT-2 on (the fleet's configuration).
+
+        The co-resident thread fills a large share of memory-stall slots,
+        so the effective memory penalty is far below the raw latency.
+        Fitted to Figure 3's shares at S1's event rates.
+        """
+        return cls(memory_penalty=45.0)
+
+    @classmethod
+    def haswell_single(cls) -> "TopDownModel":
+        """PLT1 running one thread per core (SPEC-style measurement)."""
+        return cls()
+
+    @classmethod
+    def power8_smt8(cls) -> "TopDownModel":
+        """PLT2 with SMT-8: memory almost fully hidden, wide but
+        serialization-limited core."""
+        return cls(
+            width=8,
+            branch_penalty=8.0,
+            memory_penalty=25.0,
+            core_cycles_per_ki=142.0,
+        )
+
+    # ------------------------------------------------------------------
+
+    def cpi_components(self, metrics: PipelineMetrics) -> dict[str, float]:
+        """Cycles-per-instruction contribution of each stall category."""
+        per_instr = 1.0 / 1000.0
+        bad_spec = metrics.branch_mispredict_mpki * per_instr * self.branch_penalty
+        fe_latency = per_instr * (
+            metrics.l1i_mpki * self.l1i_penalty
+            + metrics.l2i_mpki * self.l2i_penalty
+        )
+        fe_bandwidth = self.frontend_bandwidth_slots_per_instr / self.width
+        be_memory = (
+            per_instr
+            * (
+                metrics.l2d_mpki * self.l2d_penalty
+                + metrics.l3d_mpki * self.memory_penalty
+            )
+            / self.mlp
+        )
+        be_core = self.core_cycles_per_ki * per_instr
+        return {
+            "retiring": 1.0 / self.width,
+            "bad_speculation": bad_spec,
+            "frontend_latency": fe_latency,
+            "frontend_bandwidth": fe_bandwidth,
+            "backend_memory": be_memory,
+            "backend_core": be_core,
+        }
+
+    def ipc(self, metrics: PipelineMetrics) -> float:
+        """Predicted instructions per cycle."""
+        return 1.0 / sum(self.cpi_components(metrics).values())
+
+    def breakdown(self, metrics: PipelineMetrics) -> TopDownBreakdown:
+        """Slot fractions for the six categories."""
+        components = self.cpi_components(metrics)
+        total_cpi = sum(components.values())
+        fractions = {k: v / total_cpi for k, v in components.items()}
+        # Normalize any floating residue into retiring.
+        residue = 1.0 - sum(fractions.values())
+        fractions["retiring"] += residue
+        return TopDownBreakdown(**fractions)

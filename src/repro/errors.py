@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one type at API boundaries while the library still raises precise
+subclasses internally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class TraceError(ReproError, ValueError):
+    """A memory trace is malformed or incompatible with the requested op."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulator reached an inconsistent internal state."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """A model could not be calibrated against its measurement anchors."""

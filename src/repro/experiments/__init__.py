@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes ``EXPERIMENT_ID``, ``TITLE`` and
+``run(preset) -> ExperimentResult``; :mod:`repro.experiments.runner` runs
+them all and renders a combined report.  ``RunPreset.QUICK`` keeps
+everything test-sized; ``RunPreset.STANDARD`` is the scale the numbers in
+EXPERIMENTS.md were produced at.
+"""
+
+from repro.experiments.common import ExperimentResult, RunPreset, composed_run
+
+__all__ = ["ExperimentResult", "RunPreset", "composed_run"]

@@ -1,0 +1,201 @@
+"""Shared infrastructure for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._units import MiB
+from repro.cachesim.composed import ComposedHierarchy
+from repro.cachesim.hierarchy import HierarchyConfig
+from repro.errors import ConfigurationError
+from repro.memtrace.synthetic import SyntheticWorkload
+from repro.memtrace.trace import Segment
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+
+@dataclass(frozen=True)
+class RunPreset:
+    """Stream sizes and scale for one experiment campaign.
+
+    ``scale`` divides every segment size *and* every cache capacity, so the
+    shapes of miss curves are preserved while runs stay laptop-sized; event
+    counts size each segment stream for its own working-set coverage.
+    """
+
+    name: str
+    scale: float
+    code_events: int
+    heap_events: int
+    shard_events: int
+    stack_events: int
+    threads: int = 16
+    seed: int = 7
+    #: Instruction budget for branch-predictor simulations.
+    branch_instructions: int = 800_000
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1:
+            raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
+        for name in ("code_events", "heap_events", "shard_events", "stack_events"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @classmethod
+    def quick(cls) -> "RunPreset":
+        """Small preset for tests and smoke runs (seconds)."""
+        return cls(
+            name="quick",
+            scale=1 / 64,
+            code_events=250_000,
+            heap_events=1_200_000,
+            shard_events=700_000,
+            stack_events=60_000,
+        )
+
+    @classmethod
+    def standard(cls) -> "RunPreset":
+        """The preset behind the numbers in EXPERIMENTS.md (minutes)."""
+        return cls(
+            name="standard",
+            scale=1 / 16,
+            code_events=1_500_000,
+            heap_events=8_000_000,
+            shard_events=5_000_000,
+            stack_events=150_000,
+            branch_instructions=3_000_000,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row) -> None:
+        """Append one result row."""
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note (assumption, calibration remark)."""
+        self.notes.append(text)
+
+    def column_names(self) -> list[str]:
+        names: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def render(self) -> str:
+        """Fixed-width text table with notes, for reports and examples."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            columns = self.column_names()
+            formatted = [
+                {name: _format_cell(row.get(name, "")) for name in columns}
+                for row in self.rows
+            ]
+            widths = {
+                name: max(len(name), *(len(row[name]) for row in formatted))
+                for name in columns
+            }
+            lines.append("  ".join(name.ljust(widths[name]) for name in columns))
+            for row in formatted:
+                lines.append(
+                    "  ".join(row[name].rjust(widths[name]) for name in columns)
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Memoized composed runs
+# ----------------------------------------------------------------------
+
+_COMPOSED_RUNS: dict[tuple, ComposedHierarchy] = {}
+
+
+def platform_hierarchy(platform: str, preset: RunPreset) -> HierarchyConfig:
+    """The scaled cache hierarchy of a named platform."""
+    if platform == "plt1":
+        base = HierarchyConfig.plt1_like(l3_size=40 * MiB)
+    elif platform == "plt2":
+        base = HierarchyConfig.plt2_like()
+    else:
+        raise ConfigurationError(f"unknown platform {platform!r}")
+    return base.scaled(preset.scale)
+
+
+def composed_run(
+    profile: str | WorkloadProfile = "s1-leaf",
+    preset: RunPreset | None = None,
+    platform: str = "plt1",
+    threads: int | None = None,
+) -> ComposedHierarchy:
+    """Build (and memoize) the composed hierarchy run for one profile.
+
+    Several experiments share the same underlying run (Table I, Figures 3,
+    6, 13, 14 all start from the S1-leaf streams), so runs are cached per
+    (profile, preset, platform, threads).
+    """
+    preset = preset or RunPreset.quick()
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    threads = threads if threads is not None else preset.threads
+    key = (profile.name, preset.name, preset.scale, platform, threads)
+    if key in _COMPOSED_RUNS:
+        return _COMPOSED_RUNS[key]
+
+    config = platform_hierarchy(platform, preset)
+    block_size = config.l1i.geometry.block_size
+    workload = SyntheticWorkload(
+        profile.memory.scaled(preset.scale), seed=preset.seed
+    )
+    streams = workload.segment_streams(
+        {
+            Segment.CODE: preset.code_events,
+            Segment.HEAP: preset.heap_events,
+            Segment.SHARD: preset.shard_events,
+            Segment.STACK: preset.stack_events,
+        },
+        block_size=block_size,
+    )
+    run = ComposedHierarchy(streams, profile.rates, config, threads=threads)
+    _COMPOSED_RUNS[key] = run
+    return run
+
+
+def discard_run(
+    profile: str | WorkloadProfile,
+    preset: RunPreset,
+    platform: str = "plt1",
+    threads: int | None = None,
+) -> None:
+    """Evict one memoized run.
+
+    Table I iterates all thirteen profiles; at the standard preset each
+    composed run holds hundreds of MiB of streams, so runs that no other
+    experiment shares are dropped as soon as they are measured.
+    """
+    name = profile if isinstance(profile, str) else profile.name
+    threads = threads if threads is not None else preset.threads
+    _COMPOSED_RUNS.pop((name, preset.name, preset.scale, platform, threads), None)
+
+
+def clear_run_cache() -> None:
+    """Drop memoized runs (tests use this to control memory)."""
+    _COMPOSED_RUNS.clear()

@@ -1,0 +1,53 @@
+"""Figure 12: the proposed L4 design, as checkable numbers.
+
+Figure 12 is the design schematic — eDRAM dies on a multi-chip package,
+tags co-located with data in DRAM rows (Alloy-style), a direct-mapped
+organization, and an on-die controller.  This experiment renders the
+design's physical accounting so the schematic's feasibility claims are
+explicit: die count, tags-in-row layout efficiency, the <1% controller
+overhead, and the latency budget vs. commercial eDRAM parts.
+"""
+
+from __future__ import annotations
+
+from repro._units import MiB, format_size
+from repro.core.l4cache import L4Cache, L4Config
+from repro.experiments.common import ExperimentResult, RunPreset
+
+EXPERIMENT_ID = "fig12"
+TITLE = "The proposed L4 design: physical accounting"
+
+
+def run(preset: RunPreset | None = None) -> ExperimentResult:
+    """Physical design numbers for the swept L4 capacities."""
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    for paper_mib in (128, 256, 512, 1024, 2048):
+        cache = L4Cache(L4Config(capacity=paper_mib * MiB))
+        layout = cache.row_layout()
+        result.add(
+            capacity=format_size(paper_mib * MiB),
+            edram_dies=cache.edram_dies,
+            tad_entries_per_row=layout["entries_per_row"],
+            tag_overhead_pct=round(layout["tag_overhead_fraction"] * 100, 1),
+            controller_overhead_pct=round(
+                cache.controller_die_overhead * 100, 1
+            ),
+            hit_ns=cache.config.hit_ns,
+        )
+    layout = L4Cache(L4Config()).row_layout()
+    result.note(
+        f"one 2 KiB eDRAM row holds {layout['entries_per_row']} tag+data "
+        f"entries ({layout['wasted_bytes_per_row']} bytes slack) — one row "
+        "activation serves a lookup, the Alloy property the 40 ns hit "
+        "latency rests on."
+    )
+    result.note(
+        "128 MiB eDRAM dies are production parts (the paper cites [42]); "
+        "1 GiB = 8 dies on the MCP, with the controller under 1% of the "
+        "processor die."
+    )
+    result.note(
+        "the direct-mapped choice costs ~1 point of hit rate (Figure 14's "
+        "associative scenario) and buys the single-activation lookup."
+    )
+    return result

@@ -1,0 +1,122 @@
+"""Run every experiment and render a combined report.
+
+``python -m repro.experiments.runner [--standard] [ids...]`` or the
+``repro-experiments`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    discussion,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    power,
+    table1,
+    table2,
+)
+from repro.experiments.common import ExperimentResult, RunPreset
+
+ALL_MODULES = (
+    table1,
+    table2,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    power,
+    discussion,
+    ablations,
+)
+
+
+def run_all(
+    preset: RunPreset | None = None, only: list[str] | None = None
+) -> list[ExperimentResult]:
+    """Run the selected experiments (all by default)."""
+    preset = preset or RunPreset.quick()
+    results = []
+    for module in ALL_MODULES:
+        if only and module.EXPERIMENT_ID not in only:
+            continue
+        results.append(module.run(preset))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to run (default: all), e.g. fig6 table1",
+    )
+    parser.add_argument(
+        "--standard",
+        action="store_true",
+        help="use the standard (slow, higher-fidelity) preset",
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="render swept series as terminal charts after each table",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiment ids and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for module in ALL_MODULES:
+            print(f"{module.EXPERIMENT_ID:12s} {module.TITLE}")
+        return 0
+
+    preset = RunPreset.standard() if args.standard else RunPreset.quick()
+    known = {module.EXPERIMENT_ID for module in ALL_MODULES}
+    unknown = set(args.ids) - known
+    if unknown:
+        parser.error(f"unknown experiment ids: {sorted(unknown)}")
+
+    start = time.time()
+    for result in run_all(preset, only=args.ids or None):
+        print(result.render())
+        if args.charts:
+            from repro.experiments.charts import render_experiment_charts
+
+            print()
+            print(render_experiment_charts(result))
+        print()
+    print(f"[{preset.name} preset, {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Table II: key attributes of the PLT1 and PLT2 platforms.
+
+Purely declarative — the platform specs are inputs to every other
+experiment; rendering them verifies the configuration matches the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, RunPreset
+from repro.platforms import PLT1, PLT2
+
+EXPERIMENT_ID = "table2"
+TITLE = "Key attributes of PLT1 and PLT2 platforms"
+
+
+def run(preset: RunPreset | None = None) -> ExperimentResult:
+    """Render the two platform specs side by side."""
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    rows1 = PLT1.table_row()
+    rows2 = PLT2.table_row()
+    for attribute in rows1:
+        result.add(attribute=attribute, PLT1=rows1[attribute], PLT2=rows2[attribute])
+    return result

@@ -1,0 +1,133 @@
+"""Simulated virtual-address-space layout for a search server.
+
+The paper classifies every access as code, heap, shard, or stack (§III-B).
+To attribute simulated misses back to software structures the same way, both
+the synthetic generators and the search-engine substrate place their data in
+disjoint regions of a single simulated address space and label each access
+with the region that owns it.
+
+The layout mirrors a conventional Linux process image: code low, heap above
+it, the memory-mapped index shard in the middle of the range, and per-thread
+stacks at the top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._units import GiB, KiB, MiB, format_size
+from repro.errors import ConfigurationError
+from repro.memtrace.trace import Segment
+
+
+@dataclass(frozen=True)
+class SegmentRegion:
+    """A contiguous address range owned by one segment."""
+
+    segment: Segment
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ConfigurationError(
+                f"invalid region for {self.segment.name}: "
+                f"base={self.base}, size={self.size}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """Return True when ``addr`` falls inside this region."""
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "SegmentRegion") -> bool:
+        """Return True when the two regions share any byte."""
+        return self.base < other.end and other.base < self.end
+
+    def __str__(self) -> str:
+        return (
+            f"{self.segment.name.lower()}: "
+            f"[{self.base:#x}, {self.end:#x}) ({format_size(self.size)})"
+        )
+
+
+class AddressSpace:
+    """Disjoint code / heap / shard / stack regions for one server process.
+
+    Parameters are region *capacities*; generators allocate inside them.
+    Stacks are carved per thread out of the stack region.
+    """
+
+    #: Gap left between regions so off-by-one bugs in generators fault the
+    #: segment lookup instead of silently mislabelling accesses.
+    _GUARD = 16 * MiB
+
+    def __init__(
+        self,
+        code_size: int = 64 * MiB,
+        heap_size: int = 8 * GiB,
+        shard_size: int = 256 * GiB,
+        stack_size_per_thread: int = 8 * MiB,
+        max_threads: int = 64,
+    ) -> None:
+        if max_threads <= 0:
+            raise ConfigurationError(f"max_threads must be positive: {max_threads}")
+        base = 4 * KiB  # leave page zero unmapped, as a real process would
+        self.code = SegmentRegion(Segment.CODE, base, code_size)
+        base = self.code.end + self._GUARD
+        self.heap = SegmentRegion(Segment.HEAP, base, heap_size)
+        base = self.heap.end + self._GUARD
+        self.shard = SegmentRegion(Segment.SHARD, base, shard_size)
+        base = self.shard.end + self._GUARD
+        self.stack = SegmentRegion(
+            Segment.STACK, base, stack_size_per_thread * max_threads
+        )
+        self.stack_size_per_thread = stack_size_per_thread
+        self.max_threads = max_threads
+
+    # ------------------------------------------------------------------
+
+    def region(self, segment: Segment) -> SegmentRegion:
+        """Return the region owning ``segment``."""
+        return {
+            Segment.CODE: self.code,
+            Segment.HEAP: self.heap,
+            Segment.SHARD: self.shard,
+            Segment.STACK: self.stack,
+        }[segment]
+
+    def thread_stack(self, thread_id: int) -> SegmentRegion:
+        """Return the stack sub-region reserved for one thread.
+
+        Stacks grow down in real processes; for trace purposes only the
+        range matters, so the sub-region is returned base-up.
+        """
+        if not 0 <= thread_id < self.max_threads:
+            raise ConfigurationError(
+                f"thread_id {thread_id} out of range [0, {self.max_threads})"
+            )
+        base = self.stack.base + thread_id * self.stack_size_per_thread
+        return SegmentRegion(Segment.STACK, base, self.stack_size_per_thread)
+
+    def classify(self, addr: int) -> Segment:
+        """Map an address back to its owning segment.
+
+        Raises :class:`ConfigurationError` for addresses in guard gaps,
+        which indicates a generator bug.
+        """
+        for region in (self.code, self.heap, self.shard, self.stack):
+            if region.contains(addr):
+                return region.segment
+        raise ConfigurationError(f"address {addr:#x} is not in any segment")
+
+    def regions(self) -> tuple[SegmentRegion, ...]:
+        """All four regions in address order."""
+        return (self.code, self.heap, self.shard, self.stack)
+
+    def describe(self) -> str:
+        """Multi-line layout summary."""
+        return "\n".join(str(r) for r in self.regions())

@@ -1,0 +1,59 @@
+"""Multi-thread trace interleaving.
+
+The paper's traces are 16 per-thread Pin streams; shared-cache simulation
+needs one global order.  Timing-free round-robin chunk interleaving is the
+standard choice for functional simulation: it preserves each thread's program
+order and gives every thread proportionate occupancy of the shared levels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.memtrace.trace import Trace
+
+
+def interleave_round_robin(traces: Sequence[Trace], chunk: int = 64) -> Trace:
+    """Merge per-thread traces into one global trace, round-robin by chunk.
+
+    Parameters
+    ----------
+    traces:
+        One trace per thread, each in program order.
+    chunk:
+        Number of consecutive accesses a thread contributes per turn.
+        Small values approximate SMT-style fine interleaving; large values
+        approximate coarse time-slicing.
+    """
+    if not traces:
+        raise TraceError("need at least one trace to interleave")
+    if chunk <= 0:
+        raise TraceError(f"chunk must be positive, got {chunk}")
+    if len(traces) == 1:
+        return traces[0]
+
+    # Global position of access i of thread t: accesses are taken in rounds;
+    # access i belongs to round i // chunk.  Sorting by (round, thread,
+    # within-chunk index) yields the interleaved order.  We compute the sort
+    # keys per thread and argsort once — fully vectorized.
+    rounds = [np.arange(len(t), dtype=np.int64) // chunk for t in traces]
+    thread_tag = [np.full(len(t), i, np.int64) for i, t in enumerate(traces)]
+    within = [np.arange(len(t), dtype=np.int64) % chunk for t in traces]
+
+    all_rounds = np.concatenate(rounds)
+    all_tags = np.concatenate(thread_tag)
+    all_within = np.concatenate(within)
+    # Lexicographic sort: last key is primary.
+    order = np.lexsort((all_within, all_tags, all_rounds))
+
+    merged = Trace.concatenate(list(traces))
+    return Trace(
+        addr=merged.addr[order],
+        kind=merged.kind[order],
+        segment=merged.segment[order],
+        thread=merged.thread[order],
+        instruction_count=merged.instruction_count,
+    )

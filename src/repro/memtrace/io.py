@@ -1,0 +1,72 @@
+"""Trace persistence.
+
+Generating the bigger synthetic traces and search-engine traces takes real
+time; persisting them as compressed ``.npz`` bundles lets experiment
+campaigns and notebooks reuse collections, the way the paper reuses its Pin
+trace collections across analyses ("results are qualitatively similar over
+multiple such collections", §III-A).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.memtrace.trace import Trace
+
+#: Format version written into every bundle; bump on layout changes.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path, **metadata) -> Path:
+    """Write a trace (plus optional JSON-able metadata) to ``path``.
+
+    The suffix ``.npz`` is appended when missing.  Returns the final path.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    try:
+        header = json.dumps(
+            {"version": FORMAT_VERSION, "metadata": metadata}, sort_keys=True
+        )
+    except TypeError as exc:
+        raise TraceError(f"metadata must be JSON-serializable: {exc}") from exc
+    np.savez_compressed(
+        path,
+        addr=trace.addr,
+        kind=trace.kind,
+        segment=trace.segment,
+        thread=trace.thread,
+        instruction_count=np.int64(trace.instruction_count),
+        header=np.frombuffer(header.encode(), np.uint8),
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> tuple[Trace, dict]:
+    """Read a trace bundle; returns ``(trace, metadata)``."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace bundle at {path}")
+    with np.load(path) as bundle:
+        try:
+            header = json.loads(bytes(bundle["header"]).decode())
+            trace = Trace(
+                addr=bundle["addr"],
+                kind=bundle["kind"],
+                segment=bundle["segment"],
+                thread=bundle["thread"],
+                instruction_count=int(bundle["instruction_count"]),
+            )
+        except KeyError as exc:
+            raise TraceError(f"{path} is not a trace bundle: missing {exc}") from exc
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceError(
+            f"{path} has format version {header.get('version')}; "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    return trace, header.get("metadata", {})

@@ -1,0 +1,499 @@
+"""Calibrated synthetic memory-trace generators.
+
+The paper drives its cache studies with Pin traces of Google's production
+search leaf (135 billion instructions, 16 threads) — traces we cannot have.
+This module generates statistically equivalent access streams per software
+segment, with locality knobs calibrated so the simulated miss behaviour
+reproduces the paper's findings (§III):
+
+* **code** — a few-MiB instruction footprint walked through a Zipfian
+  function mix: hot functions live in L1-I/L2, the full footprint only fits
+  in the L3 (high L2-instruction MPKI, negligible L3-instruction MPKI).
+* **heap** — Zipfian reuse over a ~1 GiB shared object pool: significant
+  reuse, but with a working set an order of magnitude larger than on-chip
+  caches (the key insight behind the L4 proposal).
+* **shard** — streaming scans over an effectively unbounded index with weak,
+  heavy-tailed term reuse: mostly cold misses, ~50% hit rate only at
+  multi-GiB capacities.
+* **stack** — a small per-thread window that caches nearly perfectly.
+
+Sizes scale with ``WorkloadConfig.scale`` so GiB-scale experiments run on a
+laptop; capacities in experiments are scaled identically, preserving the
+shape of every miss-ratio curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro._units import GiB, KiB, MiB
+from repro.errors import ConfigurationError
+from repro.memtrace.address_space import AddressSpace
+from repro.memtrace.sampling import (
+    ZipfSampler,
+    bounded_geometric,
+    scatter_permutation,
+    sequential_runs,
+)
+from repro.memtrace.trace import AccessKind, Segment, Trace
+
+_LINE = 64  # generator-internal line granularity (bytes)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a synthetic search-like workload.
+
+    Sizes are *paper-scale*; ``scale`` divides the big data segments (heap
+    pool and shard) at generation time.  Event mixes are per kilo-instruction.
+    """
+
+    # -- scaling ------------------------------------------------------
+    #: Divides the big data segments (heap pool, shard).
+    scale: float = 1.0
+    #: Divides the small segments (code footprint and its function size,
+    #: stack window).  Set equal to ``scale`` for uniformly scaled runs
+    #: where cache capacities are scaled too; leave at 1.0 when only the
+    #: GiB-scale segments need shrinking.
+    micro_scale: float = 1.0
+
+    # -- code segment ---------------------------------------------------
+    code_footprint: int = 4 * MiB
+    code_function_bytes: int = 8 * KiB
+    code_zipf: float = 1.05
+    code_run_lines: float = 24.0
+    instructions_per_fetch: float = 10.0
+
+    # -- heap segment -----------------------------------------------------
+    heap_pool_bytes: int = 1 * GiB
+    heap_object_bytes: int = 128
+    heap_zipf: float = 0.80
+
+    # -- shard segment ----------------------------------------------------
+    shard_bytes: int = 128 * GiB
+    shard_terms: int = 1 << 17
+    shard_list_zipf: float = 0.70
+    shard_term_zipf: float = 0.85
+    shard_run_lines: float = 12.0
+    #: Scans start at the head of the posting list with this probability
+    #: (document-at-a-time readers restart lists; skip-list jumps land at
+    #: random offsets otherwise).  Prefix sharing between scans of the same
+    #: term is what gives the shard its weak GiB-scale reuse (Figure 6b).
+    shard_prefix_prob: float = 0.75
+    #: Pareto tail index of scan lengths: many short scans, occasional
+    #: full-list sweeps.  Values near 1 spread prefix reuse across decades
+    #: of cache capacity.
+    shard_run_alpha: float = 1.10
+
+    # -- stack segment ----------------------------------------------------
+    stack_window_bytes: int = 16 * KiB
+    stack_frame_bytes: int = 192
+
+    # -- instruction mix ----------------------------------------------
+    loads_per_ki: float = 250.0
+    stores_per_ki: float = 100.0
+    #: Fraction of *data* events going to each data segment.
+    heap_fraction: float = 0.45
+    shard_fraction: float = 0.25
+    stack_fraction: float = 0.30
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1:
+            raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
+        if not 0 < self.micro_scale <= 1:
+            raise ConfigurationError(
+                f"micro_scale must be in (0, 1], got {self.micro_scale}"
+            )
+        fractions = self.heap_fraction + self.shard_fraction + self.stack_fraction
+        if abs(fractions - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"data-segment fractions must sum to 1, got {fractions}"
+            )
+        if self.instructions_per_fetch < 1:
+            raise ConfigurationError("instructions_per_fetch must be >= 1")
+        for name in ("code_footprint", "heap_pool_bytes", "shard_bytes"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    # ------------------------------------------------------------------
+
+    def scaled(self, scale: float, micro_scale: float | None = None) -> "WorkloadConfig":
+        """Return a copy with different scale factors.
+
+        ``micro_scale`` defaults to ``scale`` — the uniformly scaled run.
+        """
+        return replace(
+            self,
+            scale=scale,
+            micro_scale=scale if micro_scale is None else micro_scale,
+        )
+
+    @property
+    def scaled_function_bytes(self) -> int:
+        """Function size after micro-scaling (at least two lines)."""
+        return max(2 * 64, int(self.code_function_bytes * self.micro_scale))
+
+    @property
+    def scaled_code_bytes(self) -> int:
+        """Code footprint after micro-scaling (at least one function)."""
+        return max(
+            self.scaled_function_bytes,
+            int(self.code_footprint * self.micro_scale),
+        )
+
+    @property
+    def scaled_frame_bytes(self) -> int:
+        """Stack frame after micro-scaling (at least one word)."""
+        return max(8, int(self.stack_frame_bytes * self.micro_scale))
+
+    @property
+    def scaled_stack_bytes(self) -> int:
+        """Stack window after micro-scaling (at least two frames)."""
+        return max(
+            2 * self.scaled_frame_bytes,
+            int(self.stack_window_bytes * self.micro_scale),
+        )
+
+    @property
+    def scaled_heap_bytes(self) -> int:
+        """Heap pool size after scaling (at least one object)."""
+        return max(self.heap_object_bytes, int(self.heap_pool_bytes * self.scale))
+
+    @property
+    def scaled_shard_bytes(self) -> int:
+        """Shard size after scaling (at least one line per term)."""
+        return max(self.shard_terms * _LINE, int(self.shard_bytes * self.scale))
+
+    @property
+    def data_events_per_ki(self) -> float:
+        """Total load + store events per kilo-instruction."""
+        return self.loads_per_ki + self.stores_per_ki
+
+    @property
+    def fetch_events_per_ki(self) -> float:
+        """Instruction-fetch events per kilo-instruction."""
+        return 1000.0 / self.instructions_per_fetch
+
+
+class CodeModel:
+    """Instruction-fetch address stream over a Zipfian function mix."""
+
+    def __init__(self, config: WorkloadConfig, base: int, rng: np.random.Generator):
+        self._base_line = base // _LINE
+        func_lines = max(2, config.scaled_function_bytes // _LINE)
+        total_lines = max(func_lines, config.scaled_code_bytes // _LINE)
+        self._func_lines = func_lines
+        self._num_funcs = max(1, total_lines // func_lines)
+        self._rng = rng
+        self._sampler = ZipfSampler(self._num_funcs, config.code_zipf, rng)
+        # Scatter function popularity across the footprint so hot code is not
+        # physically contiguous (matches real binaries post-linking).
+        self._func_base = scatter_permutation(self._num_funcs, rng) * func_lines
+        self._run_lines = config.code_run_lines
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of code that can ever be fetched."""
+        return self._num_funcs * self._func_lines * _LINE
+
+    def generate(self, n_events: int) -> np.ndarray:
+        """Return ``n_events`` byte addresses of instruction fetches."""
+        if n_events <= 0:
+            return np.empty(0, np.int64)
+        chunks: list[np.ndarray] = []
+        produced = 0
+        while produced < n_events:
+            need = n_events - produced
+            est_runs = max(16, int(need / self._run_lines * 1.3))
+            funcs = self._sampler.sample(est_runs)
+            lengths = bounded_geometric(
+                self._run_lines, self._func_lines, est_runs, self._rng
+            )
+            starts = self._base_line + self._func_base[funcs]
+            lines = sequential_runs(starts, lengths)
+            chunks.append(lines)
+            produced += len(lines)
+        lines = np.concatenate(chunks)[:n_events]
+        return lines * _LINE
+
+
+class HeapModel:
+    """Zipfian-reuse accesses over a shared pool of heap objects."""
+
+    def __init__(self, config: WorkloadConfig, base: int, rng: np.random.Generator):
+        self._base = base
+        self._object_bytes = config.heap_object_bytes
+        pool_bytes = config.scaled_heap_bytes
+        self._num_objects = max(1, pool_bytes // self._object_bytes)
+        self._rng = rng
+        self._sampler = ZipfSampler(self._num_objects, config.heap_zipf, rng)
+        # Popularity rank -> scattered object slot, so hot objects do not
+        # cluster in the address space (limits spatial-locality wins,
+        # matching Figure 7b).
+        self._slot_of_rank = scatter_permutation(self._num_objects, rng)
+
+    @property
+    def pool_bytes(self) -> int:
+        """Total bytes of heap objects that can be accessed."""
+        return self._num_objects * self._object_bytes
+
+    def generate(self, n_events: int) -> np.ndarray:
+        """Return ``n_events`` byte addresses of heap accesses."""
+        if n_events <= 0:
+            return np.empty(0, np.int64)
+        ranks = self._sampler.sample(n_events)
+        slots = self._slot_of_rank[ranks]
+        offsets = (
+            self._rng.integers(0, max(1, self._object_bytes // 8), n_events) * 8
+        )
+        return self._base + slots * self._object_bytes + offsets
+
+
+class ShardModel:
+    """Posting-list scans with weak, heavy-tailed term reuse.
+
+    The shard is laid out as one posting list per term; list lengths follow a
+    Zipf over terms (frequent terms have long lists) and query terms are
+    drawn from a separate Zipf.  A scan reads a random sequential window of
+    the chosen list — queries use skip lists, so full-list scans are rare.
+    """
+
+    def __init__(self, config: WorkloadConfig, base: int, rng: np.random.Generator):
+        self._base_line = base // _LINE
+        self._rng = rng
+        total_lines = config.scaled_shard_bytes // _LINE
+        n_terms = min(config.shard_terms, total_lines)
+        weights = np.arange(1, n_terms + 1, dtype=np.float64) ** -config.shard_list_zipf
+        lines = np.maximum(1, (weights / weights.sum() * total_lines)).astype(np.int64)
+        self._list_lines = lines
+        self._list_start = np.concatenate(([0], np.cumsum(lines)[:-1]))
+        self._term_sampler = ZipfSampler(n_terms, config.shard_term_zipf, rng)
+        self._run_lines = config.shard_run_lines
+        self._prefix_prob = config.shard_prefix_prob
+        self._run_alpha = config.shard_run_alpha
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes of posting lists."""
+        return int(self._list_lines.sum()) * _LINE
+
+    def generate(self, n_events: int) -> np.ndarray:
+        """Return ``n_events`` byte addresses of shard (read-only) accesses."""
+        if n_events <= 0:
+            return np.empty(0, np.int64)
+        chunks: list[np.ndarray] = []
+        produced = 0
+        while produced < n_events:
+            need = n_events - produced
+            est_runs = max(16, int(need / self._run_lines * 1.3))
+            terms = self._term_sampler.sample(est_runs)
+            list_lines = self._list_lines[terms]
+            # Pareto-tailed scan lengths: minimum 1 line, heavy upper tail,
+            # capped by the list being scanned.
+            pareto = 1.0 + self._rng.pareto(self._run_alpha, est_runs)
+            lengths = np.minimum(
+                np.maximum(1, (pareto * self._run_lines / 2.0).astype(np.int64)),
+                list_lines,
+            )
+            # Most scans restart at the list head (shared prefixes); the
+            # rest land at skip-list offsets.
+            max_start = list_lines - lengths
+            random_starts = (
+                self._rng.random(est_runs) * (max_start + 1)
+            ).astype(np.int64)
+            from_head = self._rng.random(est_runs) < self._prefix_prob
+            starts = self._list_start[terms] + np.where(
+                from_head, 0, random_starts
+            )
+            chunks.append(sequential_runs(starts, lengths))
+            produced += len(chunks[-1])
+        lines = np.concatenate(chunks)[:n_events]
+        return (self._base_line + lines) * _LINE
+
+
+class StackModel:
+    """Per-thread stack accesses following a call-depth random walk."""
+
+    def __init__(self, config: WorkloadConfig, base: int, rng: np.random.Generator):
+        self._base = base
+        self._window = config.scaled_stack_bytes
+        self._frame = config.scaled_frame_bytes
+        self._rng = rng
+
+    def generate(self, n_events: int) -> np.ndarray:
+        """Return ``n_events`` byte addresses of stack accesses."""
+        if n_events <= 0:
+            return np.empty(0, np.int64)
+        steps = self._rng.choice((-self._frame, self._frame), size=n_events)
+        walk = np.cumsum(steps)
+        # Reflect the unbounded walk into [0, window) with a triangle wave so
+        # depth stays bounded without clipping artifacts at the edges.
+        period = 2 * self._window
+        depth = self._window - np.abs((walk % period) - self._window)
+        depth = np.minimum(depth, self._window - self._frame)
+        offsets = self._rng.integers(0, max(1, self._frame // 8), n_events) * 8
+        return self._base + depth + offsets
+
+
+class SyntheticWorkload:
+    """A complete multi-threaded synthetic search-like workload.
+
+    Code, heap, and shard state is shared across threads (the paper's leaf
+    threads share one binary, one heap, and one mapped shard); stacks are
+    private.
+    """
+
+    def __init__(
+        self,
+        config: WorkloadConfig | None = None,
+        address_space: AddressSpace | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or WorkloadConfig()
+        cfg = self.config
+        self.address_space = address_space or AddressSpace(
+            code_size=max(cfg.scaled_code_bytes, 1 * MiB),
+            heap_size=max(cfg.scaled_heap_bytes, 1 * MiB),
+            shard_size=max(cfg.scaled_shard_bytes, 1 * MiB),
+        )
+        self._rng = np.random.default_rng(seed)
+        space = self.address_space
+        self.code = CodeModel(cfg, space.code.base, self._rng)
+        self.heap = HeapModel(cfg, space.heap.base, self._rng)
+        self.shard = ShardModel(cfg, space.shard.base, self._rng)
+
+    # ------------------------------------------------------------------
+
+    def generate_thread(self, instructions: int, thread_id: int = 0) -> Trace:
+        """Generate one thread's trace representing ``instructions`` retires."""
+        if instructions <= 0:
+            raise ConfigurationError(f"instructions must be positive: {instructions}")
+        cfg = self.config
+        ki = instructions / 1000.0
+        n_fetch = max(1, round(ki * cfg.fetch_events_per_ki))
+        n_load = round(ki * cfg.loads_per_ki)
+        n_store = round(ki * cfg.stores_per_ki)
+        n_data = n_load + n_store
+
+        n_heap = round(n_data * cfg.heap_fraction)
+        n_shard = round(n_data * cfg.shard_fraction)
+        n_stack = n_data - n_heap - n_shard
+
+        code_addr = self.code.generate(n_fetch)
+        heap_addr = self.heap.generate(n_heap)
+        shard_addr = self.shard.generate(n_shard)
+        stack_region = self.address_space.thread_stack(thread_id)
+        stack = StackModel(cfg, stack_region.base, self._rng)
+        stack_addr = stack.generate(n_stack)
+
+        addr, segment, kind = self._interleave_segments(
+            code_addr, heap_addr, shard_addr, stack_addr, n_store
+        )
+        thread = np.full(len(addr), thread_id, np.uint16)
+        return Trace(
+            addr=addr.astype(np.uint64),
+            kind=kind,
+            segment=segment,
+            thread=thread,
+            instruction_count=instructions,
+        )
+
+    def generate(self, instructions_per_thread: int, threads: int = 1) -> Trace:
+        """Generate an interleaved multi-thread trace.
+
+        Threads are interleaved in fixed-size chunks, approximating the
+        fine-grained interleave of SMT/multicore execution without modelling
+        timing (the paper's simulator is functional too, §III-A).
+        """
+        from repro.memtrace.interleave import interleave_round_robin
+
+        if threads <= 0:
+            raise ConfigurationError(f"threads must be positive: {threads}")
+        per_thread = [
+            self.generate_thread(instructions_per_thread, thread_id=t)
+            for t in range(threads)
+        ]
+        if threads == 1:
+            return per_thread[0]
+        return interleave_round_robin(per_thread, chunk=64)
+
+    def segment_streams(
+        self,
+        events: dict[Segment, int],
+        thread_id: int = 0,
+        block_size: int = 64,
+    ) -> dict[Segment, np.ndarray]:
+        """Generate independent per-segment line streams.
+
+        This is the input format of the composed-hierarchy engine
+        (:mod:`repro.cachesim.composed`): each segment's stream is sized for
+        its *own* working-set coverage instead of sharing one instruction
+        budget, and rates are applied at composition time.
+        """
+        shift = np.uint64(block_size.bit_length() - 1)
+        streams: dict[Segment, np.ndarray] = {}
+        for segment, count in events.items():
+            if count <= 0:
+                raise ConfigurationError(
+                    f"event count for {segment.name} must be positive"
+                )
+            if segment == Segment.CODE:
+                addrs = self.code.generate(count)
+            elif segment == Segment.HEAP:
+                addrs = self.heap.generate(count)
+            elif segment == Segment.SHARD:
+                addrs = self.shard.generate(count)
+            else:
+                region = self.address_space.thread_stack(thread_id)
+                addrs = StackModel(self.config, region.base, self._rng).generate(count)
+            streams[segment] = (addrs.astype(np.uint64) >> shift).astype(np.int64)
+        return streams
+
+    # ------------------------------------------------------------------
+
+    def _interleave_segments(
+        self,
+        code_addr: np.ndarray,
+        heap_addr: np.ndarray,
+        shard_addr: np.ndarray,
+        stack_addr: np.ndarray,
+        n_store: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Merge per-segment streams into one program-order stream.
+
+        Each stream keeps its internal order (sequential runs survive); the
+        cross-stream order is a random but proportionate shuffle.
+        """
+        streams = {
+            Segment.CODE: code_addr,
+            Segment.HEAP: heap_addr,
+            Segment.SHARD: shard_addr,
+            Segment.STACK: stack_addr,
+        }
+        total = sum(len(s) for s in streams.values())
+        segment = np.empty(total, np.uint8)
+        addr = np.empty(total, np.int64)
+
+        # Draw the segment sequence, then fill each segment's slots in-order.
+        tags = np.concatenate(
+            [np.full(len(s), seg, np.uint8) for seg, s in streams.items()]
+        )
+        self._rng.shuffle(tags)
+        segment[:] = tags
+        for seg, stream in streams.items():
+            addr[segment == seg] = stream
+
+        kind = np.full(total, AccessKind.LOAD, np.uint8)
+        kind[segment == Segment.CODE] = AccessKind.INSTR
+        # Stores go to writable segments only: the shard is a read-only
+        # memory-mapped index.  Flip a proportionate, random subset of heap
+        # and stack accesses to stores.
+        writable = (segment == Segment.HEAP) | (segment == Segment.STACK)
+        writable_idx = np.flatnonzero(writable)
+        n_store = min(n_store, len(writable_idx))
+        if n_store > 0:
+            chosen = self._rng.choice(writable_idx, size=n_store, replace=False)
+            kind[chosen] = AccessKind.STORE
+        return addr, segment, kind

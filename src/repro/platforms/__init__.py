@@ -1,0 +1,5 @@
+"""Hardware-platform specifications (Table II)."""
+
+from repro.platforms.specs import PlatformSpec, PLT1, PLT2
+
+__all__ = ["PlatformSpec", "PLT1", "PLT2"]

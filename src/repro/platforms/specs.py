@@ -1,0 +1,121 @@
+"""The paper's two lab platforms (Table II).
+
+PLT1 is an Intel Haswell-class 2-socket server, PLT2 an IBM POWER8-class
+one.  The spec objects carry the Table II attributes plus the calibrated
+per-platform models (cache hierarchy, SMT curve, TLB configurations) used
+throughout the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._units import GiB, KiB, MiB, format_size
+from repro.cachesim.hierarchy import HierarchyConfig
+from repro.cpu.smt import SmtModel
+from repro.cpu.tlb import TlbConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One hardware platform, as characterized in Table II."""
+
+    name: str
+    microarchitecture: str
+    sockets: int
+    cores_per_socket: int
+    smt_ways: int
+    cache_block_bytes: int
+    l1i_bytes: int
+    l1d_bytes: int
+    l2_bytes: int
+    l3_bytes_per_socket: int
+    memory_bytes: int = 256 * GiB
+    small_page_bytes: int = 4 * KiB
+    huge_page_bytes: int = 2 * MiB
+    issue_width: int = 4
+    frequency_ghz: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1 or self.smt_ways < 1:
+            raise ConfigurationError("socket/core/SMT counts must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def total_threads(self) -> int:
+        return self.total_cores * self.smt_ways
+
+    def hierarchy(self) -> HierarchyConfig:
+        """The platform's cache hierarchy as a simulator configuration."""
+        if self.name == "PLT1":
+            return HierarchyConfig.plt1_like(
+                l3_size=self.l3_bytes_per_socket, l3_assoc=20
+            )
+        return HierarchyConfig.plt2_like()
+
+    def smt_model(self) -> SmtModel:
+        """The platform's calibrated SMT throughput model."""
+        return (
+            SmtModel.plt1_calibrated()
+            if self.name == "PLT1"
+            else SmtModel.plt2_calibrated()
+        )
+
+    def tlb_configs(self) -> tuple[TlbConfig, TlbConfig]:
+        """(small-page, huge-page) TLB configurations."""
+        if self.name == "PLT1":
+            return TlbConfig.plt1_small_pages(), TlbConfig.plt1_huge_pages()
+        return TlbConfig.plt2_small_pages(), TlbConfig.plt2_huge_pages()
+
+    def table_row(self) -> dict[str, str]:
+        """Table II row, rendered as strings."""
+        return {
+            "Microarchitecture": self.microarchitecture,
+            "Number of sockets": str(self.sockets),
+            "Cores": f"{self.cores_per_socket} per socket",
+            "SMT": str(self.smt_ways),
+            "Cache block size": f"{self.cache_block_bytes} B",
+            "L1-I$ (per core)": format_size(self.l1i_bytes),
+            "L1-D$ (per core)": format_size(self.l1d_bytes),
+            "Private L2$ (per core)": format_size(self.l2_bytes),
+            "Shared L3$ (per socket)": format_size(self.l3_bytes_per_socket),
+        }
+
+
+PLT1 = PlatformSpec(
+    name="PLT1",
+    microarchitecture="Intel Haswell",
+    sockets=2,
+    cores_per_socket=18,
+    smt_ways=2,
+    cache_block_bytes=64,
+    l1i_bytes=32 * KiB,
+    l1d_bytes=32 * KiB,
+    l2_bytes=256 * KiB,
+    l3_bytes_per_socket=45 * MiB,
+    small_page_bytes=4 * KiB,
+    huge_page_bytes=2 * MiB,
+    issue_width=4,
+    frequency_ghz=2.5,
+)
+
+PLT2 = PlatformSpec(
+    name="PLT2",
+    microarchitecture="IBM POWER8",
+    sockets=2,
+    cores_per_socket=12,
+    smt_ways=8,
+    cache_block_bytes=128,
+    l1i_bytes=32 * KiB,
+    l1d_bytes=64 * KiB,
+    l2_bytes=512 * KiB,
+    l3_bytes_per_socket=96 * MiB,
+    small_page_bytes=64 * KiB,
+    huge_page_bytes=16 * MiB,
+    issue_width=8,
+    frequency_ghz=3.5,
+)

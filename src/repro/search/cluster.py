@@ -1,0 +1,145 @@
+"""The complete serving system of Figure 1, wired end to end.
+
+``SearchCluster.build`` constructs the whole stack — corpus, sharded index
+placed in simulated memory, instrumented leaf servers, an aggregation tree
+with a snippet-generating root, and a caching front end.  ``serve`` pushes a
+query stream through it and ``leaf_trace`` returns the interleaved memory
+trace the leaves emitted, ready for the cache simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memtrace.interleave import interleave_round_robin
+from repro.memtrace.trace import Trace
+from repro.search.documents import Corpus, CorpusConfig
+from repro.search.frontend import FrontendServer, ResultCache
+from repro.search.indexer import InvertedIndexBuilder
+from repro.search.leaf import LeafServer
+from repro.search.querygen import QueryGenerator
+from repro.search.root import RootServer, SearchResultPage
+from repro.search.simmem import SimulatedMemory, TraceRecorder
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Aggregate behaviour of one serving run."""
+
+    queries: int
+    frontend_cache_hit_rate: float
+    postings_scored: int
+    leaf_instructions: int
+    trace_accesses: int
+
+    def render(self) -> str:
+        return (
+            f"{self.queries} queries; front-end cache hit rate "
+            f"{self.frontend_cache_hit_rate:.1%}; {self.postings_scored} "
+            f"postings scored; {self.leaf_instructions} leaf instructions; "
+            f"{self.trace_accesses} traced accesses"
+        )
+
+
+class SearchCluster:
+    """A self-contained search serving cluster."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        leaves: list[LeafServer],
+        frontend: FrontendServer,
+        recorders: list[TraceRecorder],
+        memory: SimulatedMemory,
+    ) -> None:
+        if not leaves:
+            raise ConfigurationError("cluster needs at least one leaf")
+        self.corpus = corpus
+        self.leaves = leaves
+        self.frontend = frontend
+        self.recorders = recorders
+        self.memory = memory
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        corpus_config: CorpusConfig | None = None,
+        num_leaves: int = 4,
+        fanout: int = 4,
+        result_cache_capacity: int = 2048,
+        record_traces: bool = True,
+        seed: int = 0,
+    ) -> "SearchCluster":
+        """Construct the full Figure 1 stack over a fresh synthetic corpus."""
+        if num_leaves < 1:
+            raise ConfigurationError(f"num_leaves must be >= 1, got {num_leaves}")
+        corpus = Corpus(corpus_config or CorpusConfig(seed=seed))
+        builder = InvertedIndexBuilder(num_shards=num_leaves)
+        builder.add_corpus(corpus)
+        memory = SimulatedMemory()
+        shards = builder.build(memory=memory, seed=seed)
+
+        recorders = [
+            TraceRecorder(thread_id=i) if record_traces else None
+            for i in range(num_leaves)
+        ]
+        leaves = [
+            LeafServer(
+                shard,
+                memory=memory,
+                recorder=recorders[i],
+                seed=seed + i,
+            )
+            for i, shard in enumerate(shards)
+        ]
+        root = RootServer.build_tree(leaves, fanout=fanout)
+        frontend = FrontendServer(
+            root,
+            vocabulary=corpus.vocabulary,
+            cache=ResultCache(result_cache_capacity),
+        )
+        return cls(
+            corpus=corpus,
+            leaves=leaves,
+            frontend=frontend,
+            recorders=[r for r in recorders if r is not None],
+            memory=memory,
+        )
+
+    # ------------------------------------------------------------------
+
+    def serve_terms(self, queries: list[list[int]], top_k: int = 10) -> list[SearchResultPage]:
+        """Serve a stream of term-id queries through the front end."""
+        return [self.frontend.search_terms(q, top_k=top_k) for q in queries]
+
+    def serve_generated(
+        self, generator: QueryGenerator, count: int, top_k: int = 10
+    ) -> list[SearchResultPage]:
+        """Serve ``count`` queries sampled from a generator."""
+        return self.serve_terms(generator.generate(count), top_k=top_k)
+
+    def leaf_trace(self, chunk: int = 64) -> Trace:
+        """Interleaved memory trace of all leaf servers."""
+        if not self.recorders:
+            raise ConfigurationError("cluster was built with record_traces=False")
+        traces = [r.to_trace() for r in self.recorders]
+        traces = [t for t in traces if len(t)]
+        if not traces:
+            raise ConfigurationError("no accesses recorded yet; serve queries first")
+        if len(traces) == 1:
+            return traces[0]
+        return interleave_round_robin(traces, chunk=chunk)
+
+    def stats(self) -> ClusterStats:
+        """Aggregate counters of the run so far."""
+        trace_accesses = sum(r.pending_accesses for r in self.recorders)
+        return ClusterStats(
+            queries=self.frontend.queries_received,
+            frontend_cache_hit_rate=self.frontend.cache.hit_rate,
+            postings_scored=sum(leaf.postings_scored for leaf in self.leaves),
+            leaf_instructions=sum(r.instructions for r in self.recorders),
+            trace_accesses=trace_accesses,
+        )

@@ -1,0 +1,90 @@
+"""Front-end web server with result caching.
+
+"Popular queries can consume a significant amount of resources, so caching
+is used in various levels of the hierarchy to improve throughput and
+latency" (§II-A).  The front end normalizes the query, consults its result
+cache, and only forwards misses to the root.  The cache is also why leaf
+traffic loses query-level locality — repeated queries are absorbed here,
+leaving the leaves the long Zipf tail (the paper's explanation for the
+shard's poor temporal locality, §III-B).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+from repro.search.documents import Vocabulary
+from repro.search.root import RootServer, SearchResultPage
+from repro.search.tokenizer import terms_for_query
+
+
+class ResultCache:
+    """A bounded LRU cache of query results."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, ...], SearchResultPage] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple[int, ...]) -> SearchResultPage | None:
+        page = self._entries.get(key)
+        if page is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return page
+
+    def put(self, key: tuple[int, ...], page: SearchResultPage) -> None:
+        self._entries[key] = page
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FrontendServer:
+    """Entry point of the serving system (Figure 1's front-end web server)."""
+
+    def __init__(
+        self,
+        root: RootServer,
+        vocabulary: Vocabulary | None = None,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.root = root
+        self.vocabulary = vocabulary
+        self.cache = cache or ResultCache()
+        self.queries_received = 0
+
+    def search_terms(self, terms: list[int], top_k: int = 10) -> SearchResultPage:
+        """Serve a pre-tokenized query (term ids)."""
+        self.queries_received += 1
+        # Normalize: order-independent bag of terms, like a query rewriter.
+        key = tuple(sorted(terms))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        page = self.root.search(list(terms), top_k=top_k)
+        self.cache.put(key, page)
+        return page
+
+    def search_text(self, query: str, top_k: int = 10) -> SearchResultPage:
+        """Serve a text query through the tokenizer (needs a vocabulary)."""
+        if self.vocabulary is None:
+            raise ConfigurationError(
+                "text queries need a vocabulary; use search_terms instead"
+            )
+        terms = terms_for_query(query, self.vocabulary)
+        return self.search_terms(terms, top_k=top_k)

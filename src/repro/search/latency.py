@@ -1,0 +1,113 @@
+"""Per-query latency model for the serving tree.
+
+The paper evaluates throughput but notes (§IV-B) that it "also evaluated
+per-query average and tail latency, and found it remained well within the
+margins of our service level objective" after rebalancing.  This model
+makes that checkable: leaves are M/M/1 queues whose service rate scales
+with per-leaf throughput (cores × IPC), and a query's latency is the
+*maximum* over its fan-out — the classic tail-at-scale amplification.
+
+For an M/M/1 queue at utilization ρ with mean service time S, the sojourn
+time is exponential with mean S/(1-ρ), so the p-quantile is
+``-ln(1-p) · S / (1-ρ)``; a fan-out-N query's p-quantile needs the
+per-leaf ``p**(1/N)`` quantile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QueryLatencyModel:
+    """Latency of fan-out queries over queueing leaves."""
+
+    #: Mean leaf service time at the baseline design, milliseconds.
+    base_service_ms: float = 8.0
+    #: Number of leaves a query fans out to.
+    fanout: int = 32
+    #: Fixed network + aggregation time per query, milliseconds.
+    overhead_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base_service_ms <= 0 or self.overhead_ms < 0:
+            raise ConfigurationError("invalid latency parameters")
+        if self.fanout < 1:
+            raise ConfigurationError("fanout must be >= 1")
+
+    # ------------------------------------------------------------------
+
+    def service_ms(self, relative_throughput: float = 1.0) -> float:
+        """Leaf service time for a design with the given throughput ratio.
+
+        A design serving 1.27x the QPS per leaf (the paper's combined
+        design) processes each query 1.27x faster.
+        """
+        if relative_throughput <= 0:
+            raise ConfigurationError("relative_throughput must be positive")
+        return self.base_service_ms / relative_throughput
+
+    def leaf_quantile_ms(
+        self, p: float, utilization: float, relative_throughput: float = 1.0
+    ) -> float:
+        """The p-quantile of one leaf's sojourn time at a utilization."""
+        if not 0 < p < 1:
+            raise ConfigurationError(f"p must be in (0, 1), got {p}")
+        if not 0 <= utilization < 1:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1), got {utilization}"
+            )
+        service = self.service_ms(relative_throughput)
+        return -math.log(1.0 - p) * service / (1.0 - utilization)
+
+    def query_quantile_ms(
+        self, p: float, utilization: float, relative_throughput: float = 1.0
+    ) -> float:
+        """The p-quantile of a fan-out query (max over leaves)."""
+        per_leaf_p = p ** (1.0 / self.fanout)
+        return self.overhead_ms + self.leaf_quantile_ms(
+            per_leaf_p, utilization, relative_throughput
+        )
+
+    def mean_query_ms(
+        self, utilization: float, relative_throughput: float = 1.0
+    ) -> float:
+        """Expected fan-out query latency (harmonic max of exponentials)."""
+        if not 0 <= utilization < 1:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1), got {utilization}"
+            )
+        service = self.service_ms(relative_throughput) / (1.0 - utilization)
+        harmonic = sum(1.0 / k for k in range(1, self.fanout + 1))
+        return self.overhead_ms + service * harmonic
+
+    # ------------------------------------------------------------------
+
+    def utilization_for_load(
+        self, offered_load: float, relative_throughput: float = 1.0
+    ) -> float:
+        """Leaf utilization when offering ``offered_load`` (1.0 = the
+        baseline design's capacity) to a design with the given throughput."""
+        if offered_load < 0:
+            raise ConfigurationError("offered_load must be >= 0")
+        utilization = offered_load / relative_throughput
+        if utilization >= 1:
+            raise ConfigurationError(
+                f"design saturates: load {offered_load} vs capacity "
+                f"{relative_throughput}"
+            )
+        return utilization
+
+    def tail_within_slo(
+        self,
+        slo_ms: float,
+        offered_load: float,
+        relative_throughput: float = 1.0,
+        p: float = 0.99,
+    ) -> bool:
+        """Does the design keep the p-tail within the SLO at this load?"""
+        utilization = self.utilization_for_load(offered_load, relative_throughput)
+        return self.query_quantile_ms(p, utilization, relative_throughput) <= slo_ms

@@ -1,0 +1,256 @@
+"""Leaf server: score an index shard for a query, emitting a memory trace.
+
+The leaf is the paper's focus — it is where the shard scans, the heap
+scoring structures, and the large code footprint live.  Query processing
+follows the standard document-at-a-time outline:
+
+1. look up each query term's posting list (heap dictionary access);
+2. decode its postings, streaming through the compressed blob in the
+   **shard** segment (sequential line touches, no temporal reuse);
+3. score candidates with BM25 using per-doc metadata in the **heap**
+   (doc lengths, static rank — Zipf-reused across queries because popular
+   terms recur), accumulating into a hot scratch region;
+4. select the top-k (stack-resident partial sort).
+
+Each stage also charges instructions and touches its function's **code**
+range, so the emitted trace carries all four segments of §III-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memtrace.trace import AccessKind, Segment
+from repro.search.indexer import IndexShard
+from repro.search.scoring import Bm25Parameters, bm25_score
+from repro.search.simmem import SimulatedMemory, TraceRecorder
+
+_LINE = 64
+
+#: Instruction-cost model per unit of work (coarse, Haswell-ish).
+_INSTR_PER_POSTING_DECODE = 6
+_INSTR_PER_POSTING_SCORE = 14
+_INSTR_PER_TERM_LOOKUP = 120
+_INSTR_PER_TOPK_CANDIDATE = 4
+_INSTR_QUERY_OVERHEAD = 600
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One scored result."""
+
+    doc_id: int
+    score: float
+
+
+class LeafServer:
+    """Scores its shard; optionally records every memory access."""
+
+    def __init__(
+        self,
+        shard: IndexShard,
+        memory: SimulatedMemory | None = None,
+        recorder: TraceRecorder | None = None,
+        bm25: Bm25Parameters = Bm25Parameters(),
+        accumulator_slots: int = 1 << 15,
+        seed: int = 0,
+    ) -> None:
+        if accumulator_slots <= 0:
+            raise ConfigurationError("accumulator_slots must be positive")
+        self.shard = shard
+        self.memory = memory
+        self.recorder = recorder
+        self.bm25 = bm25
+        self._rng = np.random.default_rng(seed)
+        self.queries_served = 0
+        self.postings_scored = 0
+        self.postings_skipped = 0
+
+        self._accumulator_addr = -1
+        self._term_dict_addr = -1
+        self._code_addr: dict[str, int] = {}
+        if memory is not None:
+            self._accumulator_addr = memory.alloc(
+                Segment.HEAP, 8 * accumulator_slots, label="score-accumulators"
+            )
+            self._term_dict_addr = memory.alloc(
+                Segment.HEAP,
+                max(64, 48 * len(shard.postings)),
+                label="term-dictionary",
+            )
+            for stage, size in (
+                ("parse", 2048),
+                ("lookup", 4096),
+                ("decode", 8192),
+                ("score", 16384),
+                ("topk", 4096),
+            ):
+                self._code_addr[stage] = memory.alloc(
+                    Segment.CODE, size, label=f"leaf-code:{stage}"
+                )
+        self._accumulator_slots = accumulator_slots
+        self._term_rank = {
+            term: rank for rank, term in enumerate(sorted(shard.postings))
+        }
+
+    # ------------------------------------------------------------------
+    # Instrumentation helpers (no-ops when not recording)
+    # ------------------------------------------------------------------
+
+    def _code(self, stage: str, fraction: float, instructions: int) -> None:
+        recorder = self.recorder
+        if recorder is None:
+            return
+        recorder.execute(instructions)
+        addr = self._code_addr.get(stage, -1)
+        if addr < 0:
+            return
+        size = max(_LINE, int(fraction * 4096))
+        recorder.touch(addr, size, AccessKind.INSTR, Segment.CODE)
+
+    def _touch(self, addr: int, size: int, kind: AccessKind, segment: Segment) -> None:
+        if self.recorder is not None and addr >= 0:
+            self.recorder.touch(addr, size, kind, segment)
+
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        terms: list[int],
+        top_k: int = 10,
+        early_termination: bool = False,
+    ) -> list[SearchHit]:
+        """Score the shard for a bag of term ids; return the best hits.
+
+        ``early_termination`` enables a Moffat–Zobel-style *quit* strategy:
+        terms are processed in decreasing idf order, and scoring stops once
+        the remaining terms' combined score upper bound cannot displace the
+        current k-th candidate.  It is approximate (already-admitted
+        candidates forgo small boosts) but slashes posting traffic for
+        queries mixing rare and stopword-class terms — one lever behind the
+        shard's scan-length distribution.
+        """
+        if top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1, got {top_k}")
+        self.queries_served += 1
+        self._code("parse", 0.5, _INSTR_QUERY_OVERHEAD)
+
+        shard = self.shard
+        if early_termination:
+            terms = sorted(
+                terms,
+                key=lambda t: -self._term_upper_bound(t),
+            )
+        remaining_bound = sum(self._term_upper_bound(t) for t in terms)
+
+        scores: dict[int, float] = {}
+        for position, term in enumerate(terms):
+            if early_termination and len(scores) >= top_k:
+                kth = sorted(scores.values(), reverse=True)[top_k - 1]
+                if remaining_bound < kth:
+                    for skipped in terms[position:]:
+                        posting = shard.postings.get(skipped)
+                        if posting is not None:
+                            self.postings_skipped += posting.doc_count
+                    break
+            remaining_bound -= self._term_upper_bound(term)
+            posting = shard.postings.get(term)
+            self._code("lookup", 0.6, _INSTR_PER_TERM_LOOKUP)
+            if self._term_dict_addr >= 0:
+                rank = self._term_rank.get(term, 0)
+                self._touch(
+                    self._term_dict_addr + 48 * rank,
+                    48,
+                    AccessKind.LOAD,
+                    Segment.HEAP,
+                )
+            if posting is None or posting.doc_count == 0:
+                continue
+
+            local_ids, freqs = posting.decode()
+            self.postings_scored += posting.doc_count
+            self._code(
+                "decode", 1.0, _INSTR_PER_POSTING_DECODE * posting.doc_count
+            )
+            self._touch(
+                posting.shard_addr,
+                max(1, posting.size_bytes),
+                AccessKind.LOAD,
+                Segment.SHARD,
+            )
+
+            lengths = shard.doc_lengths[local_ids]
+            term_scores = bm25_score(
+                freqs,
+                lengths,
+                shard.average_length,
+                shard.total_docs,
+                posting.doc_count,
+                self.bm25,
+            )
+            term_scores = term_scores * (1.0 + 0.1 * shard.static_rank[local_ids])
+            self._code(
+                "score", 1.0, _INSTR_PER_POSTING_SCORE * posting.doc_count
+            )
+            if self.recorder is not None:
+                self._record_scoring_accesses(local_ids)
+
+            for local, s in zip(local_ids.tolist(), term_scores.tolist()):
+                doc = int(shard.doc_ids[local])
+                scores[doc] = scores.get(doc, 0.0) + s
+
+        self._code("topk", 0.8, _INSTR_PER_TOPK_CANDIDATE * len(scores))
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+        return [SearchHit(doc_id=d, score=s) for d, s in ranked]
+
+    def _term_upper_bound(self, term: int) -> float:
+        """Maximum BM25 contribution any document can get from one term."""
+        posting = self.shard.postings.get(term)
+        if posting is None or posting.doc_count == 0:
+            return 0.0
+        from repro.search.scoring import idf
+
+        # tf-saturation limit is (k1 + 1); static rank boosts up to 10%.
+        return (
+            idf(self.shard.total_docs, posting.doc_count)
+            * (self.bm25.k1 + 1.0)
+            * 1.1
+        )
+
+    def _record_scoring_accesses(self, local_ids: np.ndarray) -> None:
+        """Heap touches of the scoring stage, vectorized."""
+        meta = self.shard.doc_length_addr + 8 * local_ids
+        rank = self.shard.static_rank_addr + 8 * local_ids
+        acc = self._accumulator_addr + 8 * (local_ids % self._accumulator_slots)
+        recorder = self.recorder
+        recorder.touch_many(
+            (meta // _LINE) * _LINE, AccessKind.LOAD, Segment.HEAP
+        )
+        recorder.touch_many(
+            (rank // _LINE) * _LINE, AccessKind.LOAD, Segment.HEAP
+        )
+        recorder.touch_many(
+            (acc // _LINE) * _LINE, AccessKind.STORE, Segment.HEAP
+        )
+
+    # ------------------------------------------------------------------
+
+    def snippet(self, doc_id: int, terms: list[int]) -> str:
+        """A result snippet for one of this shard's documents.
+
+        Touches the document's metadata the way snippet generation re-reads
+        the stored document.
+        """
+        local = self.shard.local_index_of().get(doc_id)
+        if local is None:
+            raise ConfigurationError(
+                f"doc {doc_id} is not in shard {self.shard.shard_id}"
+            )
+        self._code("score", 0.3, 200)
+        self._touch(
+            self.shard.doc_length_addr + 8 * local, 8, AccessKind.LOAD, Segment.HEAP
+        )
+        return f"doc{doc_id}: …{' '.join(f't{t}' for t in terms[:3])}…"

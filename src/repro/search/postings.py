@@ -1,0 +1,110 @@
+"""Var-byte compressed posting lists.
+
+Postings are (doc_id, term_frequency) pairs sorted by doc id; doc ids are
+delta-encoded and both fields var-byte compressed — the classic layout whose
+sequential decode is exactly the shard streaming behaviour the paper
+observes (§III-B: sequential runs, no temporal locality at small caches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _varbyte_encode_values(values: np.ndarray) -> bytearray:
+    """Var-byte encode non-negative integers (7 data bits per byte,
+    high bit marks continuation)."""
+    out = bytearray()
+    for v in values.tolist():
+        if v < 0:
+            raise ConfigurationError(f"cannot varbyte-encode negative {v}")
+        while True:
+            byte = v & 0x7F
+            v >>= 7
+            if v:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return out
+
+
+def _varbyte_decode_values(data: bytes, count: int) -> tuple[np.ndarray, int]:
+    """Decode ``count`` var-byte integers; return (values, bytes consumed)."""
+    values = np.empty(count, np.int64)
+    pos = 0
+    for i in range(count):
+        value = 0
+        shift = 0
+        while True:
+            if pos >= len(data):
+                raise ConfigurationError("truncated varbyte stream")
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        values[i] = value
+    return values, pos
+
+
+def encode_postings(doc_ids: np.ndarray, frequencies: np.ndarray) -> bytes:
+    """Encode sorted (doc_id, frequency) postings into a compressed blob.
+
+    Layout: interleaved varbyte (delta_doc_id, frequency) pairs.
+    """
+    if len(doc_ids) != len(frequencies):
+        raise ConfigurationError("doc_ids and frequencies must align")
+    if len(doc_ids) == 0:
+        return b""
+    doc_ids = np.asarray(doc_ids, np.int64)
+    frequencies = np.asarray(frequencies, np.int64)
+    if (np.diff(doc_ids) <= 0).any():
+        raise ConfigurationError("doc_ids must be strictly increasing")
+    if (frequencies < 1).any():
+        raise ConfigurationError("frequencies must be >= 1")
+    deltas = np.empty_like(doc_ids)
+    deltas[0] = doc_ids[0]
+    deltas[1:] = np.diff(doc_ids)
+    interleaved = np.empty(2 * len(doc_ids), np.int64)
+    interleaved[0::2] = deltas
+    interleaved[1::2] = frequencies
+    return bytes(_varbyte_encode_values(interleaved))
+
+
+def decode_postings(blob: bytes, count: int) -> tuple[np.ndarray, np.ndarray]:
+    """Decode ``count`` postings back to (doc_ids, frequencies)."""
+    if count == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    interleaved, __ = _varbyte_decode_values(blob, 2 * count)
+    deltas = interleaved[0::2]
+    frequencies = interleaved[1::2]
+    return np.cumsum(deltas), frequencies
+
+
+@dataclass(frozen=True)
+class PostingList:
+    """A term's compressed postings plus its placement in shard memory."""
+
+    term_id: int
+    doc_count: int
+    blob: bytes
+    #: Simulated shard address where the blob is stored (set by the indexer).
+    shard_addr: int = -1
+
+    def __post_init__(self) -> None:
+        if self.doc_count < 0:
+            raise ConfigurationError("doc_count must be non-negative")
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.blob)
+
+    def decode(self) -> tuple[np.ndarray, np.ndarray]:
+        """(doc_ids, frequencies) of this list."""
+        return decode_postings(self.blob, self.doc_count)

@@ -1,0 +1,117 @@
+"""Root and intermediate aggregation servers.
+
+Queries "propagate down to all leaf nodes; results propagate up the tree,
+with intermediate parents scoring and ordering content" (Figure 1).  A
+:class:`RootServer` fans a query out to its children — leaves or other
+aggregators — merges the returned hits, and (at the true root) asks the
+owning leaves for snippets of the winning documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.search.leaf import LeafServer, SearchHit
+
+
+@dataclass(frozen=True)
+class SearchResultPage:
+    """What the front end renders: ranked hits plus snippets."""
+
+    terms: tuple[int, ...]
+    hits: tuple[SearchHit, ...]
+    snippets: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.hits) != len(self.snippets):
+            raise ConfigurationError("hits and snippets must align")
+
+
+Child = Union["RootServer", LeafServer]
+
+
+class RootServer:
+    """Aggregates results from a subtree of leaves.
+
+    ``generate_snippets`` is enabled only at the true root — intermediate
+    parents merge and forward.
+    """
+
+    def __init__(
+        self,
+        children: Sequence[Child],
+        generate_snippets: bool = True,
+    ) -> None:
+        if not children:
+            raise ConfigurationError("a root server needs at least one child")
+        self.children = list(children)
+        self.generate_snippets = generate_snippets
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, terms: list[int], top_k: int) -> list[SearchHit]:
+        """Fan out and merge; children each return their local top-k."""
+        merged: list[SearchHit] = []
+        for child in self.children:
+            if isinstance(child, LeafServer):
+                merged.extend(child.search(terms, top_k=top_k))
+            else:
+                merged.extend(child._collect(terms, top_k))
+        merged.sort(key=lambda h: (-h.score, h.doc_id))
+        return merged[:top_k]
+
+    def _leaves(self) -> list[LeafServer]:
+        leaves: list[LeafServer] = []
+        for child in self.children:
+            if isinstance(child, LeafServer):
+                leaves.append(child)
+            else:
+                leaves.extend(child._leaves())
+        return leaves
+
+    def search(self, terms: list[int], top_k: int = 10) -> SearchResultPage:
+        """Serve one query through the whole subtree."""
+        self.queries_served += 1
+        hits = self._collect(terms, top_k)
+        snippets: list[str] = []
+        if self.generate_snippets:
+            owner_of = {
+                int(doc): leaf
+                for leaf in self._leaves()
+                for doc in leaf.shard.doc_ids.tolist()
+            }
+            for hit in hits:
+                snippets.append(owner_of[hit.doc_id].snippet(hit.doc_id, terms))
+        else:
+            snippets = ["" for __ in hits]
+        return SearchResultPage(
+            terms=tuple(terms),
+            hits=tuple(hits),
+            snippets=tuple(snippets),
+        )
+
+    @classmethod
+    def build_tree(
+        cls,
+        leaves: Sequence[LeafServer],
+        fanout: int = 4,
+    ) -> "RootServer":
+        """Build a balanced aggregation tree over the leaves.
+
+        Intermediate parents are inserted whenever a level exceeds the
+        fanout, mirroring the paper's root/intermediate-parent hierarchy.
+        """
+        if fanout < 2:
+            raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
+        level: list[Child] = list(leaves)
+        if not level:
+            raise ConfigurationError("need at least one leaf")
+        while len(level) > fanout:
+            level = [
+                cls(level[i : i + fanout], generate_snippets=False)
+                for i in range(0, len(level), fanout)
+            ]
+        return cls(level, generate_snippets=True)

@@ -1,0 +1,56 @@
+"""BM25 ranking.
+
+The scoring function the leaf applies while traversing postings.  Kept
+deliberately standard (Robertson/Sparck-Jones BM25) — the paper's point is
+the *memory behaviour* of scoring, not the ranking function itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Bm25Parameters:
+    """Standard BM25 free parameters."""
+
+    k1: float = 1.2
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0 or not 0 <= self.b <= 1:
+            raise ConfigurationError(
+                f"invalid BM25 parameters k1={self.k1}, b={self.b}"
+            )
+
+
+def idf(total_docs: int, doc_frequency: int) -> float:
+    """BM25 inverse document frequency with the +0.5 smoothing."""
+    if total_docs <= 0 or doc_frequency <= 0 or doc_frequency > total_docs:
+        raise ConfigurationError(
+            f"invalid df={doc_frequency} for N={total_docs}"
+        )
+    return math.log(1.0 + (total_docs - doc_frequency + 0.5) / (doc_frequency + 0.5))
+
+
+def bm25_score(
+    frequencies: np.ndarray,
+    doc_lengths: np.ndarray,
+    average_length: float,
+    total_docs: int,
+    doc_frequency: int,
+    params: Bm25Parameters = Bm25Parameters(),
+) -> np.ndarray:
+    """Vectorized BM25 term score for a batch of candidate documents."""
+    if average_length <= 0:
+        raise ConfigurationError("average_length must be positive")
+    tf = np.asarray(frequencies, np.float64)
+    dl = np.asarray(doc_lengths, np.float64)
+    term_idf = idf(total_docs, doc_frequency)
+    denom = tf + params.k1 * (1.0 - params.b + params.b * dl / average_length)
+    return term_idf * (tf * (params.k1 + 1.0)) / denom

@@ -1,0 +1,106 @@
+"""Index-shard serialization.
+
+A leaf's shard is immutable once built (the serving system memory-maps it,
+§II-A), which makes a flat binary image the natural interchange format:
+a JSON header (term directory with offsets) followed by the concatenated
+posting blobs and the metadata arrays.  This is also exactly the layout
+the simulated-memory placement mirrors, so a serialized shard round-trips
+losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.search.indexer import IndexShard
+from repro.search.postings import PostingList
+
+_MAGIC = b"RPRSHARD"
+_VERSION = 1
+
+
+def shard_to_bytes(shard: IndexShard) -> bytes:
+    """Serialize a shard to a flat binary image."""
+    blobs = bytearray()
+    directory = []
+    for term in sorted(shard.postings):
+        posting = shard.postings[term]
+        directory.append(
+            {
+                "term": term,
+                "doc_count": posting.doc_count,
+                "offset": len(blobs),
+                "length": len(posting.blob),
+            }
+        )
+        blobs.extend(posting.blob)
+
+    header = json.dumps(
+        {
+            "version": _VERSION,
+            "shard_id": shard.shard_id,
+            "total_docs": shard.total_docs,
+            "average_length": shard.average_length,
+            "num_docs": shard.num_docs,
+            "directory": directory,
+        }
+    ).encode()
+
+    arrays = (
+        shard.doc_ids.astype(np.int64).tobytes()
+        + shard.doc_lengths.astype(np.int64).tobytes()
+        + shard.static_rank.astype(np.float64).tobytes()
+    )
+    return (
+        _MAGIC
+        + struct.pack("<QQ", len(header), len(blobs))
+        + header
+        + bytes(blobs)
+        + arrays
+    )
+
+
+def shard_from_bytes(data: bytes) -> IndexShard:
+    """Reconstruct a shard from :func:`shard_to_bytes` output."""
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise ConfigurationError("not a serialized shard (bad magic)")
+    cursor = len(_MAGIC)
+    header_len, blobs_len = struct.unpack_from("<QQ", data, cursor)
+    cursor += 16
+    header = json.loads(data[cursor : cursor + header_len].decode())
+    cursor += header_len
+    if header.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"shard format version {header.get('version')} unsupported"
+        )
+    blobs = data[cursor : cursor + blobs_len]
+    cursor += blobs_len
+
+    num_docs = header["num_docs"]
+    doc_ids = np.frombuffer(data, np.int64, num_docs, offset=cursor).copy()
+    cursor += 8 * num_docs
+    doc_lengths = np.frombuffer(data, np.int64, num_docs, offset=cursor).copy()
+    cursor += 8 * num_docs
+    static_rank = np.frombuffer(data, np.float64, num_docs, offset=cursor).copy()
+
+    postings = {}
+    for entry in header["directory"]:
+        blob = blobs[entry["offset"] : entry["offset"] + entry["length"]]
+        postings[entry["term"]] = PostingList(
+            term_id=entry["term"],
+            doc_count=entry["doc_count"],
+            blob=bytes(blob),
+        )
+    return IndexShard(
+        shard_id=header["shard_id"],
+        postings=postings,
+        doc_ids=doc_ids,
+        doc_lengths=doc_lengths,
+        static_rank=static_rank,
+        average_length=header["average_length"],
+        total_docs=header["total_docs"],
+    )

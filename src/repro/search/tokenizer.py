@@ -1,0 +1,28 @@
+"""Minimal tokenizer used on the query path.
+
+Queries arrive as text at the front end (Figure 1); this normalizes and
+splits them, then resolves words to term ids via the corpus vocabulary.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.search.documents import Vocabulary
+
+_TOKEN = re.compile(r"[a-z]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase and split text into alphabetic tokens."""
+    return _TOKEN.findall(text.lower())
+
+
+def terms_for_query(text: str, vocabulary: Vocabulary) -> list[int]:
+    """Resolve a query string to in-vocabulary term ids, dropping OOV words."""
+    term_ids = []
+    for token in tokenize(text):
+        term_id = vocabulary.term_id(token)
+        if term_id is not None:
+            term_ids.append(term_id)
+    return term_ids

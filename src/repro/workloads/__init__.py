@@ -1,0 +1,23 @@
+"""Workload profiles: production search services and calibration baselines.
+
+A profile bundles the synthetic memory-trace configuration and the branch
+population of one workload, plus the paper's Table I reference numbers so
+experiments can report paper-vs-measured side by side.
+"""
+
+from repro.workloads.profiles import (
+    PaperReference,
+    WorkloadProfile,
+    all_profiles,
+    get_profile,
+)
+from repro.workloads import search, baselines
+
+__all__ = [
+    "PaperReference",
+    "WorkloadProfile",
+    "all_profiles",
+    "get_profile",
+    "search",
+    "baselines",
+]

@@ -1,0 +1,78 @@
+"""Profile dataclasses and the profile registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cachesim.composed import SegmentRates
+from repro.cpu.branch import BranchWorkloadConfig
+from repro.errors import ConfigurationError
+from repro.memtrace.synthetic import WorkloadConfig
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """A Table I row: the paper's measured values for one workload."""
+
+    ipc: float
+    l3_load_mpki: float
+    l2_instr_mpki: float
+    branch_mpki: float
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A complete synthetic stand-in for one workload."""
+
+    name: str
+    description: str
+    memory: WorkloadConfig
+    branches: BranchWorkloadConfig
+    #: Nominal unique-line touch rates per kilo-instruction, used when the
+    #: profile's streams are composed through a hierarchy.
+    rates: SegmentRates = field(default_factory=SegmentRates)
+    reference: PaperReference | None = None
+    #: Grouping used by Table I: "search-fleet", "search-lab", "spec",
+    #: "cloudsuite".
+    family: str = "search-fleet"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("profile name must be non-empty")
+
+
+_REGISTRY: dict[str, WorkloadProfile] = {}
+
+
+def register(profile: WorkloadProfile) -> WorkloadProfile:
+    """Add a profile to the global registry (module-import time)."""
+    if profile.name in _REGISTRY:
+        raise ConfigurationError(f"duplicate profile name {profile.name!r}")
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a registered profile by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown profile {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_profiles(family: str | None = None) -> list[WorkloadProfile]:
+    """All registered profiles, optionally restricted to one family."""
+    _ensure_loaded()
+    profiles = list(_REGISTRY.values())
+    if family is not None:
+        profiles = [p for p in profiles if p.family == family]
+    return profiles
+
+
+def _ensure_loaded() -> None:
+    # Profile modules self-register on import; import them lazily to avoid
+    # a cycle with this module.
+    from repro.workloads import baselines, search  # noqa: F401

@@ -1,0 +1,68 @@
+"""Tests for 3C miss classification."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheGeometry
+from repro.cachesim.missclass import MissBreakdown, classify_misses
+from repro.errors import TraceError
+
+
+class TestMissBreakdown:
+    def test_consistency_enforced(self):
+        with pytest.raises(TraceError):
+            MissBreakdown(accesses=10, hits=5, cold=2, capacity=2, conflict=2)
+
+    def test_fractions(self):
+        b = MissBreakdown(accesses=10, hits=4, cold=3, capacity=2, conflict=1)
+        assert b.misses == 6
+        assert b.miss_rate == pytest.approx(0.6)
+        assert b.fraction("cold") == pytest.approx(0.5)
+        assert b.fraction("conflict") == pytest.approx(1 / 6)
+
+    def test_zero_miss_fraction(self):
+        b = MissBreakdown(accesses=4, hits=4, cold=0, capacity=0, conflict=0)
+        assert b.fraction("cold") == 0.0
+
+
+class TestClassifyMisses:
+    def test_all_cold_for_distinct_stream(self):
+        lines = np.arange(100)
+        b = classify_misses(lines, CacheGeometry(64 * 1024, 8))
+        assert b.cold == 100
+        assert b.capacity == 0
+        assert b.conflict == 0
+
+    def test_capacity_misses_for_cyclic_overflow(self):
+        # Cycle through 2x the cache capacity: every reuse is a capacity miss.
+        geometry = CacheGeometry.fully_associative(16 * 64)
+        lines = np.tile(np.arange(32), 10)
+        b = classify_misses(lines, geometry)
+        assert b.conflict == 0  # fully associative: no conflicts
+        assert b.capacity > 0
+        assert b.hits == 0
+
+    def test_conflict_misses_detected(self):
+        # Two lines mapping to the same set of a direct-mapped cache,
+        # while a fully-associative cache of equal size would hold both.
+        geometry = CacheGeometry(16 * 64, 1)  # 16 sets, direct-mapped
+        lines = np.array([0, 16, 0, 16, 0, 16])
+        b = classify_misses(lines, geometry)
+        assert b.conflict == 4
+        assert b.cold == 2
+
+    def test_full_associativity_kills_conflicts(self):
+        rng = np.random.default_rng(0)
+        lines = (rng.zipf(1.4, 5000) % 600).astype(np.int64)
+        fa = classify_misses(lines, CacheGeometry.fully_associative(128 * 64))
+        assert fa.conflict == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            classify_misses(np.empty(0, np.int64), CacheGeometry(1024, 2))
+
+    def test_totals_consistent(self):
+        rng = np.random.default_rng(1)
+        lines = (rng.zipf(1.3, 3000) % 500).astype(np.int64)
+        b = classify_misses(lines, CacheGeometry(64 * 64, 2))
+        assert b.hits + b.misses == len(lines)

@@ -1,0 +1,58 @@
+"""Tests for prefetcher models."""
+
+import pytest
+
+from repro.cachesim.prefetch import NextLinePrefetcher, StreamPrefetcher
+from repro.errors import ConfigurationError
+
+
+class TestNextLine:
+    def test_always_next(self):
+        pf = NextLinePrefetcher()
+        assert pf.on_miss(10) == [11]
+        assert pf.on_miss(500) == [501]
+
+
+class TestStreamPrefetcher:
+    def test_first_miss_trains_only(self):
+        pf = StreamPrefetcher(degree=2)
+        assert pf.on_miss(100) == []
+
+    def test_sequential_stream_confirmed(self):
+        pf = StreamPrefetcher(degree=2)
+        pf.on_miss(100)
+        prefetches = pf.on_miss(101)
+        assert prefetches == [102, 103]
+        assert pf.streams_confirmed == 1
+
+    def test_stream_keeps_following(self):
+        pf = StreamPrefetcher(degree=1)
+        pf.on_miss(10)
+        assert pf.on_miss(11) == [12]
+        assert pf.on_miss(12) == [13]
+
+    def test_random_misses_never_confirm(self):
+        pf = StreamPrefetcher()
+        for line in (5, 500, 50_000, 7):
+            assert pf.on_miss(line) == []
+        assert pf.streams_confirmed == 0
+
+    def test_table_bounded(self):
+        pf = StreamPrefetcher(max_streams=2)
+        pf.on_miss(100)
+        pf.on_miss(200)
+        pf.on_miss(300)  # evicts the 100-stream
+        assert pf.on_miss(101) == []  # no longer tracked
+        assert pf.on_miss(301) != []  # still tracked
+
+    def test_issued_counter(self):
+        pf = StreamPrefetcher(degree=3)
+        pf.on_miss(0)
+        pf.on_miss(1)
+        assert pf.issued == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            StreamPrefetcher(degree=0)
+        with pytest.raises(ConfigurationError):
+            StreamPrefetcher(max_streams=0)

@@ -1,0 +1,90 @@
+"""Tests for result containers (LevelStats / HierarchyResult)."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.results import HierarchyResult, LevelStats
+from repro.errors import SimulationError
+from repro.memtrace.trace import AccessKind, Segment
+
+
+class TestLevelStats:
+    def test_record_and_rates(self):
+        stats = LevelStats(name="L2")
+        stats.record(Segment.CODE, AccessKind.INSTR, hit=True)
+        stats.record(Segment.CODE, AccessKind.INSTR, hit=False)
+        stats.record(Segment.HEAP, AccessKind.LOAD, hit=False)
+        assert stats.total_accesses == 3
+        assert stats.total_misses == 2
+        assert stats.hit_rate(segments=(Segment.CODE,)) == pytest.approx(0.5)
+
+    def test_record_arrays_matches_loop(self):
+        rng = np.random.default_rng(0)
+        segments = rng.integers(0, 4, 500).astype(np.uint8)
+        kinds = rng.integers(0, 3, 500).astype(np.uint8)
+        hits = rng.random(500) < 0.5
+        a = LevelStats(name="x")
+        a.record_arrays(segments, kinds, hits)
+        b = LevelStats(name="x")
+        for s, k, h in zip(segments, kinds, hits):
+            b.record(int(s), int(k), bool(h))
+        assert (a.accesses == b.accesses).all()
+        assert (a.misses == b.misses).all()
+
+    def test_mpki(self):
+        stats = LevelStats(name="L3")
+        for __ in range(12):
+            stats.record(Segment.HEAP, AccessKind.LOAD, hit=False)
+        assert stats.mpki(instruction_count=2000) == pytest.approx(6.0)
+
+    def test_mpki_slices(self):
+        stats = LevelStats(name="L2")
+        stats.record(Segment.CODE, AccessKind.INSTR, hit=False)
+        stats.record(Segment.HEAP, AccessKind.LOAD, hit=False)
+        assert stats.mpki(1000, kinds=(AccessKind.INSTR,)) == pytest.approx(1.0)
+        assert stats.mpki(1000, segments=(Segment.HEAP,)) == pytest.approx(1.0)
+
+    def test_empty_slice_hit_rate_raises(self):
+        stats = LevelStats(name="L2")
+        with pytest.raises(SimulationError):
+            stats.hit_rate()
+
+    def test_merged(self):
+        a = LevelStats(name="L2")
+        a.record(Segment.CODE, AccessKind.INSTR, hit=False)
+        b = LevelStats(name="L2")
+        b.record(Segment.CODE, AccessKind.INSTR, hit=True)
+        merged = a.merged(b)
+        assert merged.total_accesses == 2
+        assert merged.total_misses == 1
+
+    def test_merged_name_mismatch(self):
+        with pytest.raises(SimulationError):
+            LevelStats(name="L1").merged(LevelStats(name="L2"))
+
+
+class TestHierarchyResult:
+    def make(self):
+        l2 = LevelStats(name="L2")
+        l2.record(Segment.CODE, AccessKind.INSTR, hit=False)
+        l2.record(Segment.HEAP, AccessKind.LOAD, hit=False)
+        l2.record(Segment.HEAP, AccessKind.STORE, hit=True)
+        return HierarchyResult(levels={"L2": l2}, instruction_count=1000)
+
+    def test_metric_accessors(self):
+        result = self.make()
+        assert result.instr_mpki("L2") == pytest.approx(1.0)
+        assert result.load_mpki("L2") == pytest.approx(1.0)
+        assert result.data_mpki("L2") == pytest.approx(1.0)
+        assert result.segment_mpki("L2", Segment.HEAP) == pytest.approx(1.0)
+
+    def test_unknown_level(self):
+        with pytest.raises(SimulationError):
+            self.make().level("L7")
+
+    def test_positive_instruction_count_required(self):
+        with pytest.raises(SimulationError):
+            HierarchyResult(levels={}, instruction_count=0)
+
+    def test_render_contains_levels(self):
+        assert "L2" in self.make().render()

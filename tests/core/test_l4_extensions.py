@@ -1,0 +1,70 @@
+"""Tests for the §V L4 extension models."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.directmapped import simulate_direct_mapped
+from repro.core.l4_extensions import PrefetchBufferModel, WriteBufferModel
+from repro.errors import ConfigurationError
+from repro.memtrace.trace import Segment
+
+
+class TestWriteBuffer:
+    def test_saving_scales_with_writebacks(self):
+        model = WriteBufferModel()
+        assert model.read_latency_saving_ns(0.4) > model.read_latency_saving_ns(0.1)
+
+    def test_no_writebacks_no_saving(self):
+        assert WriteBufferModel().read_latency_saving_ns(0.0) == 0.0
+
+    def test_bounded_by_turnaround(self):
+        model = WriteBufferModel()
+        assert model.read_latency_saving_ns(1.0) <= model.turnaround_ns
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WriteBufferModel(collision_factor=1.5)
+        with pytest.raises(ConfigurationError):
+            WriteBufferModel().read_latency_saving_ns(2.0)
+
+
+class TestPrefetchBuffer:
+    def sequential_shard_stream(self, runs=200, run_len=10):
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 1 << 30, runs)
+        lines = np.concatenate([np.arange(s, s + run_len) for s in starts])
+        segments = np.full(len(lines), Segment.SHARD, np.uint8)
+        return lines, segments
+
+    def test_covers_sequential_successors(self):
+        lines, segments = self.sequential_shard_stream()
+        base = simulate_direct_mapped(lines, 1 << 20)
+        upgraded = PrefetchBufferModel(degree=2).upgraded_hit_rate(
+            lines, segments, base
+        )
+        # Every line after a run's head is covered by the streamer.
+        assert upgraded > 0.85
+        assert upgraded > base.mean()
+
+    def test_only_shard_upgraded(self):
+        lines, segments = self.sequential_shard_stream()
+        segments = np.full(len(lines), Segment.HEAP, np.uint8)
+        base = simulate_direct_mapped(lines, 1 << 20)
+        upgraded = PrefetchBufferModel().upgraded_hit_rate(lines, segments, base)
+        assert upgraded == pytest.approx(base.mean())
+
+    def test_random_stream_not_covered(self):
+        rng = np.random.default_rng(1)
+        lines = rng.integers(0, 1 << 40, 3000)
+        segments = np.full(3000, Segment.SHARD, np.uint8)
+        base = np.zeros(3000, bool)
+        upgraded = PrefetchBufferModel().upgraded_hit_rate(lines, segments, base)
+        assert upgraded < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrefetchBufferModel(degree=0)
+        with pytest.raises(ConfigurationError):
+            PrefetchBufferModel().upgraded_hit_rate(
+                np.array([1]), np.array([1, 2], np.uint8), np.array([True])
+            )

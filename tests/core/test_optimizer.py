@@ -1,0 +1,100 @@
+"""Tests for the combined design evaluator (Figure 14)."""
+
+import numpy as np
+import pytest
+
+from repro._units import MiB
+from repro.core.hitcurve import LogLinearHitCurve
+from repro.core.optimizer import (
+    DesignEvaluation,
+    HierarchyDesignEvaluator,
+    SensitivityScenario,
+)
+from repro.errors import ConfigurationError
+
+
+class FakeStreamSource:
+    """A stream source with heap-like reuse, standing in for a composed run."""
+
+    block_size = 64
+
+    def __init__(self, seed=0):
+        rng = np.random.default_rng(seed)
+        heap = (rng.zipf(1.25, 40_000) % 20_000).astype(np.int64)
+        shard = rng.integers(1 << 22, 1 << 26, 20_000)
+        self._lines = np.concatenate([heap, shard])[rng.permutation(60_000)]
+        self._segments = np.where(self._lines < 1 << 22, 1, 2).astype(np.uint8)
+
+    def l3_hit_rate(self, capacity_bytes):
+        from repro.cachesim.misscurve import MissRatioCurve
+
+        return MissRatioCurve(self._lines).hit_rate(max(1, capacity_bytes // 64))
+
+    def l4_demand(self, l3_capacity_bytes):
+        from repro.cachesim.misscurve import MissRatioCurve
+
+        curve = MissRatioCurve(self._lines)
+        miss = curve.miss_mask(max(1, l3_capacity_bytes // 64))
+        return self._lines[miss], self._segments[miss]
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return HierarchyDesignEvaluator(
+        stream_source=FakeStreamSource(),
+        scale=1 / 512,
+        l3_hit_fn=LogLinearHitCurve.fig10_effective(),
+    )
+
+
+class TestScenarios:
+    def test_all_four(self):
+        names = [s.name for s in SensitivityScenario.all_scenarios()]
+        assert names == ["baseline", "pessimistic", "associative", "future"]
+
+    def test_future_scales_misses(self):
+        assert SensitivityScenario.future().l3_miss_scale == pytest.approx(1.10)
+
+    def test_miss_scale_validated(self):
+        with pytest.raises(ConfigurationError):
+            SensitivityScenario(name="x", l3_miss_scale=0.9)
+
+
+class TestEvaluate:
+    def test_rebalance_improvement_matches_fig10(self, evaluator):
+        evaluation = evaluator.evaluate(SensitivityScenario.baseline(), 1024 * MiB)
+        assert evaluation.rebalance_only_improvement == pytest.approx(0.14, abs=0.02)
+
+    def test_l4_adds_on_top(self, evaluator):
+        evaluation = evaluator.evaluate(SensitivityScenario.baseline(), 1024 * MiB)
+        assert evaluation.qps_improvement > evaluation.rebalance_only_improvement
+        assert evaluation.l4_additional_improvement > 0
+
+    def test_bigger_l4_bigger_gain(self, evaluator):
+        small = evaluator.evaluate(SensitivityScenario.baseline(), 128 * MiB)
+        large = evaluator.evaluate(SensitivityScenario.baseline(), 2048 * MiB)
+        assert large.qps_improvement >= small.qps_improvement
+
+    def test_pessimistic_worse_than_baseline(self, evaluator):
+        base = evaluator.evaluate(SensitivityScenario.baseline(), 1024 * MiB)
+        pessimistic = evaluator.evaluate(
+            SensitivityScenario.pessimistic(), 1024 * MiB
+        )
+        assert pessimistic.qps_improvement < base.qps_improvement
+
+    def test_associative_at_least_as_good(self, evaluator):
+        base = evaluator.evaluate(SensitivityScenario.baseline(), 256 * MiB)
+        assoc = evaluator.evaluate(SensitivityScenario.associative(), 256 * MiB)
+        assert assoc.l4_hit_rate >= base.l4_hit_rate - 0.02
+
+    def test_render(self, evaluator):
+        evaluation = evaluator.evaluate(SensitivityScenario.baseline(), 1024 * MiB)
+        assert "baseline" in evaluation.render()
+
+    def test_sweep_grid_size(self, evaluator):
+        rows = evaluator.sweep()
+        assert len(rows) == 4 * 5
+
+    def test_scale_validated(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyDesignEvaluator(stream_source=FakeStreamSource(), scale=2.0)

@@ -1,0 +1,112 @@
+"""Tests for the Eq. 1 performance model."""
+
+import pytest
+
+from repro.core.perf_model import MemoryLatencies, SearchPerfModel
+from repro.errors import ConfigurationError
+
+
+class TestMemoryLatencies:
+    def test_defaults_span_paper_amat_range(self):
+        """At the paper's measured 53-73% hit rates the AMAT must fall in
+        the 50-70 ns range of Figure 8b."""
+        model = SearchPerfModel()
+        assert 50 <= model.amat_ns(0.73) <= 60
+        assert 65 <= model.amat_ns(0.53) <= 75
+
+    def test_pessimistic_variant(self):
+        lat = MemoryLatencies().pessimistic()
+        assert lat.l4_hit_ns == 60.0
+        assert lat.l4_miss_penalty_ns == 5.0
+
+    def test_future_variant(self):
+        lat = MemoryLatencies().future()
+        assert lat.mem_ns == pytest.approx(110 * 1.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLatencies(l3_hit_ns=0)
+        with pytest.raises(ConfigurationError):
+            MemoryLatencies(l4_miss_penalty_ns=-1)
+
+
+class TestAmat:
+    def test_no_l4(self):
+        model = SearchPerfModel()
+        amat = model.amat_ns(0.5)
+        assert amat == pytest.approx(0.5 * 36 + 0.5 * 110)
+
+    def test_with_l4(self):
+        model = SearchPerfModel()
+        amat = model.amat_ns(0.5, l4_hit_rate=0.5)
+        expected = 0.5 * 36 + 0.5 * (0.5 * 40 + 0.5 * 110)
+        assert amat == pytest.approx(expected)
+
+    def test_l4_always_helps_when_faster_than_memory(self):
+        model = SearchPerfModel()
+        assert model.amat_ns(0.5, l4_hit_rate=0.4) < model.amat_ns(0.5)
+
+    def test_miss_penalty_charged(self):
+        model = SearchPerfModel().with_latencies(MemoryLatencies().pessimistic())
+        with_l4 = model.amat_ns(0.5, l4_hit_rate=0.0)
+        without = model.amat_ns(0.5)
+        assert with_l4 > without  # 5 ns penalty, no hits to pay for it
+
+    def test_hit_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            SearchPerfModel().amat_ns(1.5)
+        with pytest.raises(ConfigurationError):
+            SearchPerfModel().amat_ns(0.5, l4_hit_rate=-0.1)
+
+
+class TestEq1:
+    def test_published_constants(self):
+        model = SearchPerfModel()
+        assert model.slope_per_ns == pytest.approx(-8.62e-3)
+        assert model.intercept == pytest.approx(1.78)
+
+    def test_ipc_at_paper_operating_point(self):
+        """AMAT 56 ns -> IPC ~1.30 (Figure 8)."""
+        assert SearchPerfModel().ipc(56.0) == pytest.approx(1.297, abs=0.01)
+
+    def test_ipc_linear(self):
+        model = SearchPerfModel()
+        d1 = model.ipc(50) - model.ipc(60)
+        d2 = model.ipc(60) - model.ipc(70)
+        assert d1 == pytest.approx(d2)
+
+    def test_ipc_floor(self):
+        assert SearchPerfModel().ipc(100_000) > 0
+
+    def test_ipc_rejects_non_positive_amat(self):
+        with pytest.raises(ConfigurationError):
+            SearchPerfModel().ipc(0)
+
+
+class TestQps:
+    def test_scales_with_cores(self):
+        model = SearchPerfModel()
+        assert model.qps(36, 0.7) == pytest.approx(2 * model.qps(18, 0.7))
+
+    def test_higher_hit_rate_higher_qps(self):
+        model = SearchPerfModel()
+        assert model.qps(18, 0.73) > model.qps(18, 0.53)
+
+    def test_smt_factor(self):
+        model = SearchPerfModel()
+        assert model.qps(18, 0.7, smt_factor=1.37) == pytest.approx(
+            1.37 * model.qps(18, 0.7)
+        )
+
+    def test_validation(self):
+        model = SearchPerfModel()
+        with pytest.raises(ConfigurationError):
+            model.qps(0, 0.7)
+        with pytest.raises(ConfigurationError):
+            model.qps(18, 0.7, smt_factor=0)
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            SearchPerfModel(slope_per_ns=0.001)
+        with pytest.raises(ConfigurationError):
+            SearchPerfModel(intercept=-1)

@@ -1,0 +1,63 @@
+"""Tests for the SMT throughput model."""
+
+import pytest
+
+from repro.cpu.smt import SmtModel
+from repro.errors import ConfigurationError
+
+
+class TestSmtModel:
+    def test_occupancy_monotone(self):
+        model = SmtModel(single_thread_utilization=0.3)
+        occ = [model.occupancy(t) for t in range(1, 9)]
+        assert occ == sorted(occ)
+        assert occ[-1] <= 1.0
+
+    def test_single_thread_speedup_is_one(self):
+        model = SmtModel(single_thread_utilization=0.4)
+        assert model.speedup(1) == pytest.approx(1.0)
+
+    def test_diminishing_returns(self):
+        model = SmtModel(single_thread_utilization=0.3, contention_linear=0.05)
+        gains = [
+            model.speedup(t + 1) - model.speedup(t) for t in range(1, 7)
+        ]
+        assert gains[0] > gains[-1]
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ConfigurationError):
+            SmtModel(single_thread_utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            SmtModel(single_thread_utilization=1.5)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigurationError):
+            SmtModel(single_thread_utilization=0.3).speedup(0)
+
+    def test_curve_keys(self):
+        model = SmtModel(single_thread_utilization=0.3)
+        curve = model.curve(4)
+        assert sorted(curve) == [1, 2, 3, 4]
+
+
+class TestPaperCalibration:
+    """Figure 2b anchors."""
+
+    def test_plt1_smt2(self):
+        model = SmtModel.plt1_calibrated()
+        assert model.improvement(2) == pytest.approx(0.37, abs=0.005)
+
+    def test_plt2_smt2(self):
+        model = SmtModel.plt2_calibrated()
+        assert model.improvement(2) == pytest.approx(0.76, abs=0.01)
+
+    def test_plt2_smt8(self):
+        model = SmtModel.plt2_calibrated()
+        assert model.improvement(8) == pytest.approx(2.24, abs=0.03)
+
+    def test_plt2_smt4_between(self):
+        model = SmtModel.plt2_calibrated()
+        assert model.improvement(2) < model.improvement(4) < model.improvement(8)
+
+    def test_plt2_scales_higher_than_plt1(self):
+        assert SmtModel.plt2_calibrated().speedup(2) > SmtModel.plt1_calibrated().speedup(2)

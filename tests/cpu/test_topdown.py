@@ -1,0 +1,95 @@
+"""Tests for the Top-Down slot-accounting model."""
+
+import pytest
+
+from repro.cpu.topdown import PipelineMetrics, TopDownBreakdown, TopDownModel
+from repro.errors import ConfigurationError
+
+
+def s1_metrics():
+    """Event rates of the calibrated S1 leaf (close to the paper's)."""
+    return PipelineMetrics(
+        branch_mispredict_mpki=9.0,
+        l1i_mpki=29.0,
+        l2i_mpki=12.8,
+        l2d_mpki=2.5,
+        l3d_mpki=2.47,
+    )
+
+
+class TestPipelineMetrics:
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineMetrics(-1, 0, 0, 0, 0)
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        breakdown = TopDownModel.haswell_smt2().breakdown(s1_metrics())
+        assert sum(breakdown.as_dict().values()) == pytest.approx(1.0)
+
+    def test_breakdown_validation(self):
+        with pytest.raises(ConfigurationError):
+            TopDownBreakdown(0.5, 0.1, 0.1, 0.1, 0.1, 0.2)
+
+    def test_fig3_shares(self):
+        """The fitted Haswell-SMT2 model must land near Figure 3."""
+        breakdown = TopDownModel.haswell_smt2().breakdown(s1_metrics())
+        shares = breakdown.as_dict()
+        assert shares["retiring"] == pytest.approx(0.32, abs=0.03)
+        assert shares["bad_speculation"] == pytest.approx(0.154, abs=0.03)
+        assert shares["frontend_latency"] == pytest.approx(0.138, abs=0.03)
+        assert shares["backend_memory"] == pytest.approx(0.205, abs=0.03)
+
+    def test_memory_upper_bound_gain(self):
+        breakdown = TopDownModel.haswell_smt2().breakdown(s1_metrics())
+        # The paper's §II-F: ~64% upper-bound gain.
+        assert breakdown.memory_bound_upper_gain == pytest.approx(0.64, abs=0.12)
+
+    def test_render_lists_categories(self):
+        text = TopDownModel().breakdown(s1_metrics()).render()
+        assert "retiring" in text and "%" in text
+
+
+class TestIpc:
+    def test_s1_ipc_near_paper(self):
+        ipc = TopDownModel.haswell_smt2().ipc(s1_metrics())
+        assert ipc == pytest.approx(1.3, abs=0.1)
+
+    def test_memory_bound_workload_low_ipc(self):
+        """mcf-like rates must produce a near-0.15 IPC with the
+        single-thread model."""
+        mcf = PipelineMetrics(
+            branch_mispredict_mpki=11.3,
+            l1i_mpki=2.0,
+            l2i_mpki=0.3,
+            l2d_mpki=5.0,
+            l3d_mpki=57.0,
+        )
+        ipc = TopDownModel.haswell_single().ipc(mcf)
+        assert ipc == pytest.approx(0.15, abs=0.05)
+
+    def test_clean_workload_high_ipc(self):
+        clean = PipelineMetrics(0.5, 1.0, 0.1, 0.5, 0.05)
+        assert TopDownModel.haswell_single().ipc(clean) > 2.0
+
+    def test_more_misses_lower_ipc(self):
+        model = TopDownModel()
+        base = model.ipc(s1_metrics())
+        worse = PipelineMetrics(9.0, 29.0, 12.8, 2.5, 10.0)
+        assert model.ipc(worse) < base
+
+    def test_width_bounds_ipc(self):
+        model = TopDownModel(width=4)
+        clean = PipelineMetrics(0.0, 0.0, 0.0, 0.0, 0.0)
+        assert model.ipc(clean) <= 4.0
+
+    def test_power8_wide(self):
+        model = TopDownModel.power8_smt8()
+        assert model.width == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TopDownModel(width=0)
+        with pytest.raises(ConfigurationError):
+            TopDownModel(mlp=0.5)

@@ -1,0 +1,89 @@
+"""Tests for experiment presets and the run cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentResult,
+    RunPreset,
+    _COMPOSED_RUNS,
+    clear_run_cache,
+    composed_run,
+    discard_run,
+    platform_hierarchy,
+)
+
+
+def tiny_preset(seed=99):
+    return RunPreset(
+        name="tiny",
+        scale=1 / 256,
+        code_events=40_000,
+        heap_events=120_000,
+        shard_events=80_000,
+        stack_events=10_000,
+        threads=2,
+        seed=seed,
+    )
+
+
+class TestRunPreset:
+    def test_quick_smaller_than_standard(self):
+        quick, standard = RunPreset.quick(), RunPreset.standard()
+        assert quick.scale < standard.scale
+        assert quick.heap_events < standard.heap_events
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunPreset("x", scale=0, code_events=1, heap_events=1, shard_events=1, stack_events=1)
+        with pytest.raises(ConfigurationError):
+            RunPreset("x", scale=0.5, code_events=0, heap_events=1, shard_events=1, stack_events=1)
+
+
+class TestPlatformHierarchy:
+    def test_plt1_scaled(self):
+        config = platform_hierarchy("plt1", tiny_preset())
+        assert config.l1i.geometry.block_size == 64
+        assert config.l3.geometry.size < 40 * 1024 * 1024
+
+    def test_plt2_block(self):
+        config = platform_hierarchy("plt2", tiny_preset())
+        assert config.l1i.geometry.block_size == 128
+
+    def test_unknown_platform(self):
+        with pytest.raises(ConfigurationError):
+            platform_hierarchy("plt3", tiny_preset())
+
+
+class TestRunCache:
+    def test_memoization(self):
+        clear_run_cache()
+        preset = tiny_preset()
+        a = composed_run("s1-leaf", preset)
+        b = composed_run("s1-leaf", preset)
+        assert a is b
+
+    def test_discard(self):
+        clear_run_cache()
+        preset = tiny_preset()
+        composed_run("s1-leaf", preset)
+        assert len(_COMPOSED_RUNS) == 1
+        discard_run("s1-leaf", preset)
+        assert len(_COMPOSED_RUNS) == 0
+
+    def test_different_threads_different_runs(self):
+        clear_run_cache()
+        preset = tiny_preset()
+        a = composed_run("s1-leaf", preset, threads=1)
+        b = composed_run("s1-leaf", preset, threads=2)
+        assert a is not b
+        clear_run_cache()
+
+
+class TestExperimentResultNotes:
+    def test_notes_render(self):
+        result = ExperimentResult("id", "title")
+        result.note("first")
+        result.note("second")
+        text = result.render()
+        assert text.count("note:") == 2

@@ -1,0 +1,280 @@
+"""Integration tests: every experiment runs and satisfies the paper's
+shape claims at the quick preset."""
+
+import pytest
+
+from repro._units import MiB
+from repro.experiments import RunPreset
+from repro.experiments import (
+    discussion,
+    fig12,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig13,
+    fig14,
+    power,
+    table1,
+    table2,
+)
+from repro.experiments.common import ExperimentResult, composed_run
+from repro.memtrace.trace import Segment
+
+
+@pytest.fixture(scope="module")
+def preset():
+    # Smaller than RunPreset.quick() to keep the suite fast.
+    return RunPreset(
+        name="test",
+        scale=1 / 64,
+        code_events=200_000,
+        heap_events=900_000,
+        shard_events=500_000,
+        stack_events=50_000,
+        threads=8,
+        branch_instructions=400_000,
+        seed=13,
+    )
+
+
+class TestExperimentResult:
+    def test_render_table(self):
+        result = ExperimentResult("x", "title")
+        result.add(a=1, b="two")
+        result.add(a=3.14159, c=True)
+        result.note("a note")
+        text = result.render()
+        assert "title" in text and "3.142" in text and "a note" in text
+
+    def test_column_union(self):
+        result = ExperimentResult("x", "t")
+        result.add(a=1)
+        result.add(b=2)
+        assert result.column_names() == ["a", "b"]
+
+
+class TestTable1(object):
+    def test_search_contrasts_with_benchmarks(self, preset):
+        result = table1.run(preset)
+        rows = {r["workload"]: r for r in result.rows}
+        # The paper's three headline contrasts:
+        assert rows["s1-leaf"]["l2_instr_mpki"] > 3 * rows["spec-gobmk"]["l2_instr_mpki"] / 3.0
+        assert rows["s1-leaf"]["l2_instr_mpki"] > rows["cloudsuite-websearch"]["l2_instr_mpki"] * 3
+        assert rows["spec-mcf"]["l3_load_mpki"] > rows["s1-leaf"]["l3_load_mpki"] * 10
+        assert rows["s1-leaf"]["branch_mpki"] > rows["cloudsuite-websearch"]["branch_mpki"] * 5
+        assert rows["spec-mcf"]["ipc"] < 0.4
+        assert rows["spec-perlbench"]["ipc"] > 1.2
+
+
+class TestTable2:
+    def test_rows(self):
+        result = table2.run()
+        attributes = [r["attribute"] for r in result.rows]
+        assert "Microarchitecture" in attributes
+        assert len(result.rows) == 9
+
+
+class TestFig2:
+    def test_all_panels(self, preset):
+        result = fig2.run(preset)
+        by_series = {}
+        for row in result.rows:
+            by_series.setdefault(row["series"], []).append(row)
+        scaling = by_series["fig2a-core-scaling"]
+        assert scaling[-1]["normalized_qps"] > 8  # near-linear to 72 cores
+        assert by_series["fig2b-smt-plt1"][0]["improvement_pct"] == pytest.approx(
+            37, abs=1
+        )
+        huge = by_series["fig2c-huge-pages"][0]
+        assert 3 < huge["improvement_pct"] < 30  # paper ~10%
+        prefetch = by_series["fig2c-prefetch"][0]
+        assert 0 < prefetch["improvement_pct"] < 15  # paper ~5%
+
+
+class TestFig3:
+    def test_shares_near_paper(self, preset):
+        result = fig3.run(preset)
+        shares = {r["category"]: r["modeled_pct"] for r in result.rows}
+        assert shares["retiring"] == pytest.approx(32, abs=6)
+        assert shares["backend_memory"] == pytest.approx(20.5, abs=6)
+        assert sum(shares.values()) == pytest.approx(100, abs=0.5)
+
+
+class TestFig4:
+    def test_heap_dominates_and_sublinear(self):
+        result = fig4.run()
+        rows = [r for r in result.rows if isinstance(r["cores"], int)]
+        for row in rows:
+            assert row["heap_gib"] > 3 * row["code_gib"]
+            assert row["heap_gib"] > 3 * row["stack_gib"]
+        heap = [r["heap_gib"] for r in rows]
+        cores = [r["cores"] for r in rows]
+        assert heap[-1] / heap[0] < cores[-1] / cores[0]
+
+
+class TestFig5:
+    def test_heap_grows_slower_than_shard(self, preset):
+        result = fig5.run(preset)
+        rows = result.rows
+        heap_growth = rows[-1]["heap_gib"] / rows[0]["heap_gib"]
+        shard_growth = rows[-1]["shard_gib"] / rows[0]["shard_gib"]
+        assert heap_growth < shard_growth
+
+
+class TestFig6:
+    def test_shapes(self, preset):
+        result = fig6.run(preset)
+        hit_rows = [r for r in result.rows if r["series"] == "fig6b-hit-rate"]
+        by_capacity = {r["x"]: r for r in hit_rows}
+        # Code saturates by 16 MiB.
+        assert by_capacity[16]["code"] > 0.9
+        # Heap keeps improving to GiB scale.
+        assert by_capacity[1024]["heap"] > by_capacity[32]["heap"] + 0.15
+        # Shard stays poor but nonzero at 2 GiB.
+        assert by_capacity[2048]["shard"] < 0.6
+        # Combined MPKI drops substantially from 32 MiB to 1 GiB.
+        mpki_rows = {r["x"]: r for r in result.rows if r["series"] == "fig6c-mpki"}
+        assert mpki_rows[1024]["combined"] < 0.75 * mpki_rows[32]["combined"]
+
+
+class TestFig7:
+    def test_conflicts_minor_beyond_l1(self, preset):
+        result = fig7.run(preset)
+        assoc = {
+            r["x"]: r["mpki_decrease_pct"]
+            for r in result.rows
+            if r["series"] == "fig7a-associativity"
+        }
+        assert assoc["L3"] < 6.0
+        assert assoc["L2"] < 8.0
+
+    def test_block_sweep_present(self, preset):
+        result = fig7.run(preset)
+        blocks = [r for r in result.rows if r["series"] == "fig7b-block-size"]
+        assert len(blocks) == 6
+
+    def test_miss_types(self, preset):
+        result = fig7.run(preset)
+        types = {
+            r["x"]: r for r in result.rows if r["series"] == "miss-types-l3"
+        }
+        # Shard misses are colder than heap misses, which carry the
+        # capacity component.  (At test-scale trace lengths cold misses
+        # dominate both; the paper's 135B-instruction traces amortize
+        # first touches away.)
+        assert types["shard"]["cold_pct"] > types["heap"]["cold_pct"]
+        assert types["heap"]["capacity_pct"] > 3 * types["shard"]["conflict_pct"]
+        assert types["heap"]["capacity_pct"] > 10
+
+
+class TestFig8:
+    def test_linear_fit_recovers_eq1(self):
+        result = fig8.run()
+        fit = next(r for r in result.rows if r["series"] == "fig8b-linear-fit")
+        assert fit["amat_ns"] == pytest.approx(-8.62e-3, rel=0.05)
+        assert fit["ipc"] == pytest.approx(1.78, rel=0.05)
+
+
+class TestFig9:
+    def test_iso_area_comparison(self):
+        result = fig9.run()
+        rows = {(r["cores"], r["l3_mib"]): r["qps"] for r in result.rows}
+        assert rows[(11, 13.5)] > rows[(9, 22.5)]
+
+
+class TestFig10:
+    def test_optimum(self):
+        result = fig10.run()
+        quantized = [
+            r for r in result.rows if r["series"] == "smt-on-quantized"
+        ]
+        best = max(quantized, key=lambda r: r["improvement_pct"])
+        assert best["l3_mib_per_core"] == 1.0
+        assert best["cores"] == 23
+        assert best["improvement_pct"] == pytest.approx(14, abs=1.5)
+
+
+class TestFig11:
+    def test_decomposition(self):
+        result = fig11.run()
+        for row in result.rows:
+            assert row["cores_gain_pct"] >= 0
+            assert row["cache_loss_pct"] <= 0
+
+
+class TestFig12:
+    def test_physical_accounting(self):
+        result = fig12.run()
+        rows = {r["capacity"]: r for r in result.rows}
+        assert rows["1 GiB"]["edram_dies"] == 8
+        assert rows["2 GiB"]["edram_dies"] == 16
+        # Alloy layout: 2048 // (64 + 8) = 28 TAD entries per row.
+        assert rows["1 GiB"]["tad_entries_per_row"] == 28
+        assert rows["1 GiB"]["tag_overhead_pct"] == pytest.approx(11.1, abs=0.1)
+
+
+class TestFig13:
+    def test_l4_sweep(self, preset):
+        result = fig13.run(preset)
+        rows = {r["l4_mib"]: r for r in result.rows}
+        assert rows[1024]["hit_rate"] > rows[64]["hit_rate"]
+        assert 0.25 < rows[1024]["hit_rate"] < 0.75  # paper: ~50%
+        assert rows[8192]["heap_hit"] > rows[8192]["shard_hit"]
+
+
+class TestFig14:
+    def test_headline_improvements(self, preset):
+        result = fig14.run(preset)
+        rows = {(r["scenario"], r["l4_mib"]): r for r in result.rows}
+        base = rows[("baseline", 1024)]
+        assert base["combined_pct"] == pytest.approx(27, abs=5)
+        assert base["rebalance_pct"] == pytest.approx(14, abs=2)
+        assert rows[("pessimistic", 1024)]["combined_pct"] < base["combined_pct"]
+        assert rows[("pessimistic", 1024)]["combined_pct"] > 15
+        assert rows[("future", 1024)]["combined_pct"] >= base["combined_pct"] - 3
+
+
+class TestPower:
+    def test_anchors(self, preset):
+        result = power.run(preset)
+        metrics = {r["metric"]: r["value"] for r in result.rows}
+        assert metrics["socket power increase (23 cores)"] == "+18.9%"
+        assert "23" in metrics["iso-power area saving (18c @ 1 MiB/core)"]
+
+
+class TestDiscussion:
+    def test_all_studies_run(self, preset):
+        result = discussion.run(preset)
+        by_series = {}
+        for row in result.rows:
+            by_series.setdefault(row["series"], []).append(row)
+
+        # Split L2 does not improve the total (the §V argument).
+        split = {r["config"]: r["total"] for r in by_series["split-l2"]}
+        assert split["split 128K+128K"] >= split["unified 256K"] * 0.9
+
+        # Doubling the L2 is a small lever.
+        bigger = {r["config"]: r["ipc"] for r in by_series["bigger-l2"]}
+        unified_ipc = bigger["256K L2"]
+        big_ipc = bigger["512K L2 (+latency)"]
+        assert abs(big_ipc / unified_ipc - 1.0) < 0.06
+
+        # Prefetch buffering lifts the L4 hit rate substantially.
+        prefetch = by_series["l4-prefetch-buffer"][0]
+        assert prefetch["l4_hit"] > 0.55
+
+        # NUMA: still well ahead of baseline at 50% remote.
+        numa = {r["config"]: r["extra_qps_pct"] for r in by_series["numa"]}
+        assert numa["50% remote L4 hits"] > 14
+
+        # Tail latency improves design over design.
+        tails = [r["p99_ms"] for r in by_series["tail-latency"]]
+        assert tails == sorted(tails, reverse=True)
+        assert all(r["within_slo"] for r in by_series["tail-latency"])

@@ -1,0 +1,43 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunAll:
+    def test_only_filter(self):
+        results = runner.run_all(only=["table2"])
+        assert len(results) == 1
+        assert results[0].experiment_id == "table2"
+
+    def test_all_modules_have_interface(self):
+        for module in runner.ALL_MODULES:
+            assert isinstance(module.EXPERIMENT_ID, str)
+            assert isinstance(module.TITLE, str)
+            assert callable(module.run)
+
+    def test_unique_ids(self):
+        ids = [m.EXPERIMENT_ID for m in runner.ALL_MODULES]
+        assert len(set(ids)) == len(ids)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "ablations" in out
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["not-an-experiment"])
+
+    def test_single_experiment(self, capsys):
+        assert runner.main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "PLT1" in out and "preset" in out
+
+    def test_charts_flag(self, capsys):
+        assert runner.main(["--charts", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out

@@ -1,0 +1,87 @@
+"""Tests for repro.memtrace.address_space."""
+
+import pytest
+
+from repro._units import MiB
+from repro.errors import ConfigurationError
+from repro.memtrace.address_space import AddressSpace, SegmentRegion
+from repro.memtrace.trace import Segment
+
+
+class TestSegmentRegion:
+    def test_basic(self):
+        region = SegmentRegion(Segment.CODE, 4096, 1024)
+        assert region.end == 5120
+        assert region.contains(4096)
+        assert region.contains(5119)
+        assert not region.contains(5120)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentRegion(Segment.CODE, -1, 10)
+        with pytest.raises(ConfigurationError):
+            SegmentRegion(Segment.CODE, 0, 0)
+
+    def test_overlap(self):
+        a = SegmentRegion(Segment.CODE, 0, 100)
+        b = SegmentRegion(Segment.HEAP, 50, 100)
+        c = SegmentRegion(Segment.HEAP, 100, 100)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_str_mentions_segment(self):
+        assert "code" in str(SegmentRegion(Segment.CODE, 0, MiB))
+
+
+class TestAddressSpace:
+    def test_regions_disjoint(self):
+        space = AddressSpace()
+        regions = space.regions()
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_regions_ordered(self):
+        space = AddressSpace()
+        regions = space.regions()
+        for a, b in zip(regions, regions[1:]):
+            assert a.end <= b.base
+
+    def test_classify_roundtrip(self):
+        space = AddressSpace()
+        for segment in Segment:
+            region = space.region(segment)
+            assert space.classify(region.base) == segment
+            assert space.classify(region.end - 1) == segment
+
+    def test_classify_guard_gap_raises(self):
+        space = AddressSpace()
+        with pytest.raises(ConfigurationError):
+            space.classify(space.code.end + 1)
+
+    def test_thread_stacks_disjoint(self):
+        space = AddressSpace(max_threads=8)
+        stacks = [space.thread_stack(i) for i in range(8)]
+        for i, a in enumerate(stacks):
+            for b in stacks[i + 1 :]:
+                assert not a.overlaps(b)
+            assert space.stack.contains(a.base)
+            assert space.stack.contains(a.end - 1)
+
+    def test_thread_stack_bounds(self):
+        space = AddressSpace(max_threads=4)
+        with pytest.raises(ConfigurationError):
+            space.thread_stack(4)
+        with pytest.raises(ConfigurationError):
+            space.thread_stack(-1)
+
+    def test_custom_sizes(self):
+        space = AddressSpace(code_size=MiB, heap_size=2 * MiB, shard_size=4 * MiB)
+        assert space.code.size == MiB
+        assert space.heap.size == 2 * MiB
+        assert space.shard.size == 4 * MiB
+
+    def test_describe_lists_all(self):
+        text = AddressSpace().describe()
+        for name in ("code", "heap", "shard", "stack"):
+            assert name in text

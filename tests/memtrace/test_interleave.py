@@ -1,0 +1,62 @@
+"""Tests for repro.memtrace.interleave."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.memtrace.interleave import interleave_round_robin
+from repro.memtrace.trace import Trace
+
+
+def thread_trace(thread_id, n, start=0):
+    return Trace(
+        addr=np.arange(start, start + n, dtype=np.uint64),
+        kind=np.zeros(n, np.uint8),
+        segment=np.zeros(n, np.uint8),
+        thread=np.full(n, thread_id, np.uint16),
+        instruction_count=n,
+    )
+
+
+class TestInterleave:
+    def test_preserves_total_length(self):
+        merged = interleave_round_robin(
+            [thread_trace(0, 100), thread_trace(1, 50)], chunk=8
+        )
+        assert len(merged) == 150
+        assert merged.instruction_count == 150
+
+    def test_preserves_per_thread_order(self):
+        merged = interleave_round_robin(
+            [thread_trace(0, 100), thread_trace(1, 100, start=1000)], chunk=4
+        )
+        for t in (0, 1):
+            sub = merged.only_thread(t)
+            assert (np.diff(sub.addr.astype(np.int64)) > 0).all()
+
+    def test_round_robin_structure(self):
+        merged = interleave_round_robin(
+            [thread_trace(0, 8), thread_trace(1, 8)], chunk=4
+        )
+        threads = list(merged.thread)
+        assert threads == [0] * 4 + [1] * 4 + [0] * 4 + [1] * 4
+
+    def test_uneven_lengths(self):
+        merged = interleave_round_robin(
+            [thread_trace(0, 10), thread_trace(1, 3)], chunk=4
+        )
+        assert len(merged) == 13
+        # The short thread's accesses all appear.
+        assert len(merged.only_thread(1)) == 3
+
+    def test_single_trace_passthrough(self):
+        trace = thread_trace(0, 10)
+        assert interleave_round_robin([trace]) is trace
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(TraceError):
+            interleave_round_robin([])
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(TraceError):
+            interleave_round_robin([thread_trace(0, 4)], chunk=0)

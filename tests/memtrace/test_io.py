@@ -1,0 +1,54 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.memtrace.io import load_trace, save_trace
+from repro.memtrace.synthetic import SyntheticWorkload, WorkloadConfig
+from repro.memtrace.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    workload = SyntheticWorkload(WorkloadConfig().scaled(1 / 256), seed=9)
+    return workload.generate(20_000, threads=2)
+
+
+class TestRoundtrip:
+    def test_arrays_preserved(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "leaf")
+        loaded, __ = load_trace(path)
+        assert (loaded.addr == trace.addr).all()
+        assert (loaded.kind == trace.kind).all()
+        assert (loaded.segment == trace.segment).all()
+        assert (loaded.thread == trace.thread).all()
+        assert loaded.instruction_count == trace.instruction_count
+
+    def test_suffix_appended(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "leaf")
+        assert path.suffix == ".npz"
+
+    def test_metadata_roundtrip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "x", profile="s1-leaf", scale=0.0625)
+        __, metadata = load_trace(path)
+        assert metadata == {"profile": "s1-leaf", "scale": 0.0625}
+
+    def test_empty_trace(self, tmp_path):
+        path = save_trace(Trace.empty(), tmp_path / "empty")
+        loaded, __ = load_trace(path)
+        assert len(loaded) == 0
+
+    def test_bad_metadata_rejected(self, trace, tmp_path):
+        with pytest.raises(TraceError):
+            save_trace(trace, tmp_path / "x", generator=object())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_not_a_bundle(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(TraceError):
+            load_trace(path)

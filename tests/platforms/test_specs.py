@@ -1,0 +1,56 @@
+"""Tests for platform specs (Table II)."""
+
+import pytest
+
+from repro._units import KiB, MiB
+from repro.platforms import PLT1, PLT2
+
+
+class TestTable2:
+    def test_plt1_attributes(self):
+        assert PLT1.microarchitecture == "Intel Haswell"
+        assert PLT1.sockets == 2
+        assert PLT1.cores_per_socket == 18
+        assert PLT1.smt_ways == 2
+        assert PLT1.cache_block_bytes == 64
+        assert PLT1.l1i_bytes == 32 * KiB
+        assert PLT1.l2_bytes == 256 * KiB
+        assert PLT1.l3_bytes_per_socket == 45 * MiB
+
+    def test_plt2_attributes(self):
+        assert PLT2.microarchitecture == "IBM POWER8"
+        assert PLT2.cores_per_socket == 12
+        assert PLT2.smt_ways == 8
+        assert PLT2.cache_block_bytes == 128
+        assert PLT2.l1d_bytes == 64 * KiB
+        assert PLT2.l2_bytes == 512 * KiB
+        assert PLT2.l3_bytes_per_socket == 96 * MiB
+
+    def test_totals(self):
+        assert PLT1.total_cores == 36
+        assert PLT1.total_threads == 72
+        assert PLT2.total_threads == 192
+
+    def test_table_rows_match_paper_strings(self):
+        row = PLT1.table_row()
+        assert row["Shared L3$ (per socket)"] == "45 MiB"
+        assert row["Cache block size"] == "64 B"
+        row2 = PLT2.table_row()
+        assert row2["SMT"] == "8"
+
+    def test_hierarchy_configs(self):
+        h1 = PLT1.hierarchy()
+        assert h1.l3.geometry.size == 45 * MiB
+        h2 = PLT2.hierarchy()
+        assert h2.l1d.geometry.block_size == 128
+
+    def test_smt_models(self):
+        assert PLT1.smt_model().improvement(2) == pytest.approx(0.37, abs=0.01)
+        assert PLT2.smt_model().improvement(8) == pytest.approx(2.24, abs=0.03)
+
+    def test_tlb_configs(self):
+        small, huge = PLT1.tlb_configs()
+        assert small.page_size == 4 * KiB
+        assert huge.page_size == 2 * MiB
+        small2, huge2 = PLT2.tlb_configs()
+        assert huge2.page_size == 16 * MiB

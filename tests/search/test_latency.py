@@ -1,0 +1,56 @@
+"""Tests for the per-query latency model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.search.latency import QueryLatencyModel
+
+
+@pytest.fixture
+def model():
+    return QueryLatencyModel(base_service_ms=8.0, fanout=32, overhead_ms=2.0)
+
+
+class TestQueueing:
+    def test_latency_grows_with_utilization(self, model):
+        low = model.query_quantile_ms(0.99, 0.3)
+        high = model.query_quantile_ms(0.99, 0.8)
+        assert high > low
+
+    def test_tail_above_mean(self, model):
+        assert model.query_quantile_ms(0.99, 0.5) > model.mean_query_ms(0.5)
+
+    def test_fanout_amplifies_tail(self):
+        narrow = QueryLatencyModel(fanout=1)
+        wide = QueryLatencyModel(fanout=64)
+        assert wide.query_quantile_ms(0.99, 0.5) > narrow.query_quantile_ms(0.99, 0.5)
+
+    def test_faster_design_lower_tail(self, model):
+        """At fixed offered load, a higher-throughput design runs at lower
+        utilization and with shorter service — double win on the tail."""
+        offered = 0.6
+        base = model.query_quantile_ms(
+            0.99, model.utilization_for_load(offered, 1.0), 1.0
+        )
+        improved = model.query_quantile_ms(
+            0.99, model.utilization_for_load(offered, 1.27), 1.27
+        )
+        assert improved < base
+
+    def test_slo_check(self, model):
+        assert model.tail_within_slo(10_000.0, 0.5)
+        assert not model.tail_within_slo(1.0, 0.9)
+
+    def test_saturation_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.utilization_for_load(1.5, 1.0)
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.query_quantile_ms(1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            model.leaf_quantile_ms(0.99, 1.0)
+        with pytest.raises(ConfigurationError):
+            QueryLatencyModel(fanout=0)
+        with pytest.raises(ConfigurationError):
+            model.service_ms(0.0)

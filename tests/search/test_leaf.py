@@ -1,0 +1,134 @@
+"""Tests for the leaf server."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memtrace.trace import AccessKind, Segment
+from repro.search.documents import Corpus, CorpusConfig
+from repro.search.indexer import InvertedIndexBuilder
+from repro.search.leaf import LeafServer
+from repro.search.simmem import SimulatedMemory, TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return Corpus(CorpusConfig(num_documents=150, vocabulary_size=400, seed=4))
+
+
+@pytest.fixture(scope="module")
+def shard(corpus):
+    builder = InvertedIndexBuilder()
+    builder.add_corpus(corpus)
+    return builder.build()[0]
+
+
+@pytest.fixture
+def instrumented(corpus):
+    memory = SimulatedMemory()
+    builder = InvertedIndexBuilder()
+    builder.add_corpus(corpus)
+    shard = builder.build(memory=memory)[0]
+    recorder = TraceRecorder()
+    return LeafServer(shard, memory=memory, recorder=recorder), recorder
+
+
+class TestSearch:
+    def test_returns_ranked_hits(self, shard, corpus):
+        leaf = LeafServer(shard)
+        term = int(corpus[0].terms[0])
+        hits = leaf.search([term], top_k=5)
+        assert hits
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_matching_docs_contain_term(self, shard, corpus):
+        leaf = LeafServer(shard)
+        term = int(corpus[0].terms[0])
+        hits = leaf.search([term], top_k=10)
+        for hit in hits:
+            assert term in corpus[hit.doc_id].terms
+
+    def test_multi_term_accumulates(self, shard, corpus):
+        leaf = LeafServer(shard)
+        t1, t2 = int(corpus[0].terms[0]), int(corpus[0].terms[1])
+        if t1 == t2:
+            t2 = int(corpus[1].terms[0])
+        single = {h.doc_id: h.score for h in leaf.search([t1], top_k=150)}
+        both = {h.doc_id: h.score for h in leaf.search([t1, t2], top_k=150)}
+        common = set(single) & set(both)
+        assert common
+        assert all(both[d] >= single[d] - 1e-9 for d in common)
+
+    def test_unknown_term_returns_empty(self, shard):
+        leaf = LeafServer(shard)
+        assert leaf.search([399_999]) == []
+
+    def test_top_k_respected(self, shard, corpus):
+        leaf = LeafServer(shard)
+        term = int(corpus[0].terms[0])
+        assert len(leaf.search([term], top_k=3)) <= 3
+
+    def test_top_k_validated(self, shard):
+        with pytest.raises(ConfigurationError):
+            LeafServer(shard).search([1], top_k=0)
+
+    def test_counters(self, shard, corpus):
+        leaf = LeafServer(shard)
+        leaf.search([int(corpus[0].terms[0])])
+        assert leaf.queries_served == 1
+        assert leaf.postings_scored > 0
+
+    def test_deterministic_results(self, shard, corpus):
+        term = int(corpus[0].terms[0])
+        a = LeafServer(shard).search([term])
+        b = LeafServer(shard).search([term])
+        assert a == b
+
+
+class TestInstrumentation:
+    def test_emits_all_segments(self, instrumented, corpus):
+        leaf, recorder = instrumented
+        for doc in list(corpus)[:20]:
+            leaf.search([int(doc.terms[0])])
+        trace = recorder.to_trace()
+        counts = trace.segment_counts()
+        assert counts[Segment.CODE] > 0
+        assert counts[Segment.HEAP] > 0
+        assert counts[Segment.SHARD] > 0
+
+    def test_shard_reads_match_posting_addresses(self, instrumented, corpus):
+        leaf, recorder = instrumented
+        term = int(corpus[0].terms[0])
+        leaf.search([term])
+        trace = recorder.to_trace()
+        shard_addrs = trace.only_segment(Segment.SHARD).addr
+        posting = leaf.shard.postings[term]
+        first_line = (posting.shard_addr // 64) * 64
+        assert first_line in shard_addrs.astype(np.int64)
+
+    def test_instructions_charged(self, instrumented, corpus):
+        leaf, recorder = instrumented
+        leaf.search([int(corpus[0].terms[0])])
+        assert recorder.instructions > 0
+
+    def test_uninstrumented_leaf_works(self, shard, corpus):
+        leaf = LeafServer(shard)  # no memory, no recorder
+        assert leaf.search([int(corpus[0].terms[0])])
+
+
+class TestSnippet:
+    def test_snippet_for_owned_doc(self, instrumented, corpus):
+        leaf, __ = instrumented
+        doc_id = int(leaf.shard.doc_ids[0])
+        text = leaf.snippet(doc_id, [1, 2, 3])
+        assert f"doc{doc_id}" in text
+
+    def test_snippet_for_foreign_doc_rejected(self, corpus):
+        builder = InvertedIndexBuilder(num_shards=2)
+        builder.add_corpus(corpus)
+        shards = builder.build()
+        leaf = LeafServer(shards[0])
+        foreign = int(shards[1].doc_ids[0])
+        with pytest.raises(ConfigurationError):
+            leaf.snippet(foreign, [1])

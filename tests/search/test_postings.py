@@ -1,0 +1,85 @@
+"""Tests for var-byte posting lists."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.search.postings import PostingList, decode_postings, encode_postings
+
+
+class TestVarByte:
+    def test_roundtrip_simple(self):
+        doc_ids = np.array([3, 7, 100, 10_000])
+        freqs = np.array([1, 2, 1, 9])
+        blob = encode_postings(doc_ids, freqs)
+        out_ids, out_freqs = decode_postings(blob, 4)
+        assert list(out_ids) == list(doc_ids)
+        assert list(out_freqs) == list(freqs)
+
+    def test_empty(self):
+        assert encode_postings(np.empty(0, np.int64), np.empty(0, np.int64)) == b""
+        ids, freqs = decode_postings(b"", 0)
+        assert len(ids) == 0 and len(freqs) == 0
+
+    def test_compression_effective_for_dense_lists(self):
+        doc_ids = np.arange(0, 1000)  # deltas of 1 -> 1 byte each
+        freqs = np.ones(1000, np.int64)
+        blob = encode_postings(doc_ids, freqs)
+        assert len(blob) == 2000  # 1 byte delta + 1 byte freq
+
+    def test_large_values_multi_byte(self):
+        blob = encode_postings(np.array([1 << 20]), np.array([1]))
+        assert len(blob) == 4  # 3-byte varbyte + 1-byte freq
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ConfigurationError):
+            encode_postings(np.array([5, 3]), np.array([1, 1]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            encode_postings(np.array([3, 3]), np.array([1, 1]))
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigurationError):
+            encode_postings(np.array([3]), np.array([0]))
+
+    def test_rejects_truncated_blob(self):
+        blob = encode_postings(np.array([3, 7]), np.array([1, 1]))
+        with pytest.raises(ConfigurationError):
+            decode_postings(blob[:1], 2)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=1 << 24),
+                st.integers(min_value=1, max_value=255),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_roundtrip_property(self, postings):
+        deltas = [d for d, _ in postings]
+        doc_ids = np.cumsum(deltas)
+        freqs = np.array([f for _, f in postings], np.int64)
+        blob = encode_postings(doc_ids, freqs)
+        out_ids, out_freqs = decode_postings(blob, len(postings))
+        assert list(out_ids) == list(doc_ids)
+        assert list(out_freqs) == list(freqs)
+
+
+class TestPostingList:
+    def test_decode(self):
+        blob = encode_postings(np.array([1, 5]), np.array([2, 3]))
+        posting = PostingList(term_id=9, doc_count=2, blob=blob)
+        ids, freqs = posting.decode()
+        assert list(ids) == [1, 5]
+        assert list(freqs) == [2, 3]
+        assert posting.size_bytes == len(blob)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PostingList(term_id=1, doc_count=-1, blob=b"")

@@ -1,0 +1,190 @@
+"""Tests for root aggregation, result caching, and the front end."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.search.cluster import SearchCluster
+from repro.search.documents import Corpus, CorpusConfig
+from repro.search.frontend import FrontendServer, ResultCache
+from repro.search.indexer import InvertedIndexBuilder
+from repro.search.leaf import LeafServer
+from repro.search.root import RootServer, SearchResultPage
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return Corpus(CorpusConfig(num_documents=160, vocabulary_size=300, seed=9))
+
+
+@pytest.fixture(scope="module")
+def leaves(corpus):
+    builder = InvertedIndexBuilder(num_shards=4)
+    builder.add_corpus(corpus)
+    return [LeafServer(shard) for shard in builder.build()]
+
+
+class TestRootServer:
+    def test_merges_across_shards(self, corpus, leaves):
+        """Sharded retrieval finds (nearly) the same documents as a
+        single-shard index.  Exact scores differ slightly: document
+        frequency is shard-local (as in real document-sharded engines)
+        and static rank is assigned per build."""
+        root = RootServer(leaves)
+        single = InvertedIndexBuilder()
+        single.add_corpus(corpus)
+        reference = LeafServer(single.build()[0])
+        # A mid-frequency term: high-df (stopword-class) terms have ~zero
+        # idf, so their ranking is pure static-rank noise.
+        term = next(
+            t
+            for t, p in sorted(reference.shard.postings.items())
+            if 8 <= p.doc_count <= 20
+        )
+        tree_ids = {h.doc_id for h in root.search([term], top_k=8).hits}
+        flat_ids = {h.doc_id for h in reference.search([term], top_k=8)}
+        assert len(tree_ids & flat_ids) >= 5
+
+    def test_merge_returns_global_top_k(self, corpus, leaves):
+        """The merged top-k is exactly the best of the children's results."""
+        root = RootServer(leaves)
+        term = int(corpus[0].terms[0])
+        merged = root.search([term], top_k=6).hits
+        everything = []
+        for leaf in leaves:
+            everything.extend(leaf.search([term], top_k=100))
+        everything.sort(key=lambda h: (-h.score, h.doc_id))
+        assert list(merged) == everything[:6]
+
+    def test_snippets_generated_at_root(self, corpus, leaves):
+        root = RootServer(leaves)
+        page = root.search([int(corpus[0].terms[0])], top_k=5)
+        assert len(page.snippets) == len(page.hits)
+        assert all(s for s in page.snippets)
+
+    def test_build_tree_inserts_parents(self, leaves):
+        # 4 leaves with fanout 2: one intermediate level.
+        root = RootServer.build_tree(leaves, fanout=2)
+        assert len(root.children) == 2
+        assert all(isinstance(c, RootServer) for c in root.children)
+
+    def test_tree_results_match_flat(self, corpus, leaves):
+        flat = RootServer(leaves)
+        tree = RootServer.build_tree(leaves, fanout=2)
+        term = int(corpus[0].terms[0])
+        assert (
+            flat.search([term], top_k=8).hits == tree.search([term], top_k=8).hits
+        )
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RootServer([])
+
+    def test_bad_fanout(self, leaves):
+        with pytest.raises(ConfigurationError):
+            RootServer.build_tree(leaves, fanout=1)
+
+
+class TestResultCache:
+    def page(self):
+        return SearchResultPage(terms=(1,), hits=(), snippets=())
+
+    def test_hit_after_put(self):
+        cache = ResultCache(capacity=4)
+        cache.put((1, 2), self.page())
+        assert cache.get((1, 2)) is not None
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = ResultCache()
+        assert cache.get((9,)) is None
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put((1,), self.page())
+        cache.put((2,), self.page())
+        cache.get((1,))  # refresh 1
+        cache.put((3,), self.page())  # evicts 2
+        assert cache.get((2,)) is None
+        assert cache.get((1,)) is not None
+
+    def test_hit_rate(self):
+        cache = ResultCache()
+        cache.put((1,), self.page())
+        cache.get((1,))
+        cache.get((2,))
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(capacity=0)
+
+
+class TestFrontend:
+    def test_repeated_query_served_from_cache(self, corpus, leaves):
+        root = RootServer(leaves)
+        frontend = FrontendServer(root, vocabulary=corpus.vocabulary)
+        term = int(corpus[0].terms[0])
+        frontend.search_terms([term])
+        served_before = sum(l.queries_served for l in leaves)
+        frontend.search_terms([term])
+        assert sum(l.queries_served for l in leaves) == served_before
+
+    def test_normalization_order_independent(self, corpus, leaves):
+        frontend = FrontendServer(RootServer(leaves))
+        t1, t2 = int(corpus[0].terms[0]), int(corpus[1].terms[0])
+        frontend.search_terms([t1, t2])
+        frontend.search_terms([t2, t1])
+        assert frontend.cache.hits == 1
+
+    def test_text_queries_need_vocabulary(self, leaves):
+        frontend = FrontendServer(RootServer(leaves))
+        with pytest.raises(ConfigurationError):
+            frontend.search_text("hello")
+
+    def test_text_query_roundtrip(self, corpus, leaves):
+        frontend = FrontendServer(RootServer(leaves), vocabulary=corpus.vocabulary)
+        word = corpus.vocabulary.word(int(corpus[0].terms[0]))
+        page = frontend.search_text(word)
+        assert page.hits
+
+
+class TestSearchCluster:
+    def test_end_to_end(self):
+        cluster = SearchCluster.build(
+            corpus_config=CorpusConfig(num_documents=120, vocabulary_size=300, seed=3),
+            num_leaves=3,
+            seed=3,
+        )
+        from repro.search.querygen import QueryGenerator, QueryGeneratorConfig
+
+        generator = QueryGenerator(
+            QueryGeneratorConfig(vocabulary_size=300, distinct_queries=50, seed=3)
+        )
+        pages = cluster.serve_generated(generator, 120)
+        assert len(pages) == 120
+        stats = cluster.stats()
+        assert stats.queries == 120
+        assert stats.frontend_cache_hit_rate > 0.2  # Zipf repeats get cached
+        trace = cluster.leaf_trace()
+        assert len(trace) == stats.trace_accesses
+        assert trace.instruction_count == stats.leaf_instructions
+
+    def test_trace_requires_recording(self):
+        cluster = SearchCluster.build(
+            corpus_config=CorpusConfig(num_documents=60, vocabulary_size=100, seed=1),
+            num_leaves=2,
+            record_traces=False,
+            seed=1,
+        )
+        with pytest.raises(ConfigurationError):
+            cluster.leaf_trace()
+
+    def test_stats_render(self):
+        cluster = SearchCluster.build(
+            corpus_config=CorpusConfig(num_documents=60, vocabulary_size=100, seed=2),
+            num_leaves=2,
+            seed=2,
+        )
+        cluster.serve_terms([[1], [2]])
+        assert "2 queries" in cluster.stats().render()

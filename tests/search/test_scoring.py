@@ -1,0 +1,74 @@
+"""Tests for BM25 scoring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.search.scoring import Bm25Parameters, bm25_score, idf
+
+
+class TestIdf:
+    def test_rare_term_higher(self):
+        assert idf(10_000, 5) > idf(10_000, 5000)
+
+    def test_positive(self):
+        assert idf(100, 100) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            idf(0, 1)
+        with pytest.raises(ConfigurationError):
+            idf(10, 11)
+
+
+class TestBm25:
+    def args(self, **kw):
+        defaults = dict(
+            frequencies=np.array([1.0, 3.0]),
+            doc_lengths=np.array([100.0, 100.0]),
+            average_length=100.0,
+            total_docs=10_000,
+            doc_frequency=50,
+        )
+        defaults.update(kw)
+        return defaults
+
+    def test_higher_tf_higher_score(self):
+        scores = bm25_score(**self.args())
+        assert scores[1] > scores[0]
+
+    def test_tf_saturates(self):
+        scores = bm25_score(
+            **self.args(
+                frequencies=np.array([1.0, 10.0, 100.0]),
+                doc_lengths=np.full(3, 100.0),
+            )
+        )
+        assert scores[1] - scores[0] > scores[2] - scores[1]
+
+    def test_longer_docs_penalized(self):
+        scores = bm25_score(
+            **self.args(
+                frequencies=np.array([2.0, 2.0]),
+                doc_lengths=np.array([50.0, 500.0]),
+            )
+        )
+        assert scores[0] > scores[1]
+
+    def test_b_zero_ignores_length(self):
+        scores = bm25_score(
+            **self.args(
+                frequencies=np.array([2.0, 2.0]),
+                doc_lengths=np.array([50.0, 500.0]),
+            ),
+            params=Bm25Parameters(b=0.0),
+        )
+        assert scores[0] == pytest.approx(scores[1])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            Bm25Parameters(k1=-1)
+        with pytest.raises(ConfigurationError):
+            Bm25Parameters(b=1.5)
+        with pytest.raises(ConfigurationError):
+            bm25_score(**self.args(average_length=0.0))

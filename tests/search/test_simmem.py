@@ -1,0 +1,101 @@
+"""Tests for simulated memory and trace recording."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memtrace.address_space import AddressSpace
+from repro.memtrace.trace import AccessKind, Segment
+from repro.search.simmem import SimulatedMemory, TraceRecorder
+
+
+class TestSimulatedMemory:
+    def test_alloc_within_segment(self):
+        memory = SimulatedMemory()
+        addr = memory.alloc(Segment.HEAP, 1000, label="test")
+        assert memory.address_space.classify(addr) == Segment.HEAP
+
+    def test_allocations_disjoint(self):
+        memory = SimulatedMemory()
+        a = memory.alloc(Segment.HEAP, 100)
+        b = memory.alloc(Segment.HEAP, 100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        memory = SimulatedMemory()
+        a = memory.alloc(Segment.SHARD, 1)
+        b = memory.alloc(Segment.SHARD, 1)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b - a == 64
+
+    def test_used_bytes(self):
+        memory = SimulatedMemory()
+        memory.alloc(Segment.CODE, 128)
+        assert memory.used_bytes(Segment.CODE) == 128
+        assert memory.used_bytes(Segment.HEAP) == 0
+
+    def test_exhaustion(self):
+        space = AddressSpace(heap_size=1 << 20)
+        memory = SimulatedMemory(space)
+        with pytest.raises(SimulationError):
+            memory.alloc(Segment.HEAP, 2 << 20)
+
+    def test_stack_alloc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedMemory().alloc(Segment.STACK, 64)
+
+    def test_labels_recorded(self):
+        memory = SimulatedMemory()
+        memory.alloc(Segment.HEAP, 64, label="doc-lengths")
+        labels = [label for label, *_ in memory.allocations()]
+        assert "doc-lengths" in labels
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedMemory().alloc(Segment.HEAP, 0)
+
+
+class TestTraceRecorder:
+    def test_touch_expands_lines(self):
+        recorder = TraceRecorder()
+        recorder.touch(0, 130, AccessKind.LOAD, Segment.HEAP)
+        recorder.execute(10)
+        trace = recorder.to_trace()
+        assert len(trace) == 3  # lines 0, 1, 2
+        assert trace.instruction_count == 10
+
+    def test_touch_single_byte(self):
+        recorder = TraceRecorder()
+        recorder.touch(100, 1, AccessKind.LOAD, Segment.SHARD)
+        assert recorder.pending_accesses == 1
+
+    def test_touch_many(self):
+        recorder = TraceRecorder(thread_id=3)
+        recorder.touch_many(np.array([0, 64, 128]), AccessKind.STORE, Segment.HEAP)
+        trace = recorder.to_trace()
+        assert len(trace) == 3
+        assert trace.thread_ids() == [3]
+        assert (trace.kind == AccessKind.STORE).all()
+
+    def test_touch_many_empty_noop(self):
+        recorder = TraceRecorder()
+        recorder.touch_many(np.empty(0, np.int64), AccessKind.LOAD, Segment.HEAP)
+        assert recorder.pending_accesses == 0
+
+    def test_empty_trace(self):
+        assert len(TraceRecorder().to_trace()) == 0
+
+    def test_reset(self):
+        recorder = TraceRecorder()
+        recorder.touch(0, 64, AccessKind.LOAD, Segment.HEAP)
+        recorder.execute(5)
+        recorder.reset()
+        assert recorder.pending_accesses == 0
+        assert recorder.instructions == 0
+
+    def test_validation(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ConfigurationError):
+            recorder.touch(0, 0, AccessKind.LOAD, Segment.HEAP)
+        with pytest.raises(ConfigurationError):
+            recorder.execute(-1)

@@ -1,0 +1,85 @@
+"""Tests for repro._units and repro.errors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._units import (
+    GiB,
+    KiB,
+    MiB,
+    format_size,
+    gib,
+    is_power_of_two,
+    kib,
+    log2_exact,
+    mib,
+)
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_helpers(self):
+        assert kib(4) == 4096
+        assert mib(2) == 2 * MiB
+        assert gib(1) == GiB
+
+    def test_fractional_helpers(self):
+        assert kib(0.5) == 512
+        assert mib(2.25) == int(2.25 * MiB)
+
+    def test_format_size_exact_units(self):
+        assert format_size(45 * MiB) == "45 MiB"
+        assert format_size(1 * GiB) == "1 GiB"
+        assert format_size(64) == "64 B"
+
+    def test_format_size_fractional(self):
+        assert format_size(1536) == "1.5 KiB"
+
+    def test_format_size_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 64, 4096, 1 << 40])
+    def test_powers(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 100, 1000])
+    def test_non_powers(self, n):
+        assert not is_power_of_two(n)
+
+    def test_log2_exact(self):
+        assert log2_exact(64) == 6
+        assert log2_exact(1) == 0
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(48)
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_log2_roundtrip(self, exponent):
+        assert log2_exact(1 << exponent) == exponent
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (ConfigurationError, TraceError, SimulationError, CalibrationError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compat(self):
+        # Config and trace errors should be catchable as ValueError too.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(TraceError, ValueError)

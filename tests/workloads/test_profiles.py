@@ -1,0 +1,92 @@
+"""Tests for workload profiles and the registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import all_profiles, get_profile
+from repro.workloads.profiles import PaperReference, WorkloadProfile, register
+
+
+class TestRegistry:
+    def test_all_thirteen_table1_profiles_present(self):
+        names = {p.name for p in all_profiles()}
+        expected = {
+            "s1-leaf",
+            "s2-leaf",
+            "s3-leaf",
+            "s1-root",
+            "s2-root",
+            "s3-root",
+            "s1-leaf-plt1",
+            "s1-leaf-plt2",
+            "spec-perlbench",
+            "spec-mcf",
+            "spec-gobmk",
+            "spec-omnetpp",
+            "cloudsuite-websearch",
+        }
+        assert expected <= names
+
+    def test_family_filter(self):
+        spec = all_profiles(family="spec")
+        assert len(spec) == 4
+        assert all(p.family == "spec" for p in spec)
+
+    def test_get_profile(self):
+        assert get_profile("s1-leaf").name == "s1-leaf"
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("nope")
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_profile("s1-leaf")
+        with pytest.raises(ConfigurationError):
+            register(existing)
+
+
+class TestProfileShapes:
+    """The profiles' parameters must encode the paper's contrasts."""
+
+    def test_all_have_references(self):
+        for profile in all_profiles():
+            assert isinstance(profile.reference, PaperReference)
+
+    def test_search_code_bigger_than_spec(self):
+        search = get_profile("s1-leaf").memory.code_footprint
+        for name in ("spec-perlbench", "spec-mcf", "spec-omnetpp"):
+            assert search > get_profile(name).memory.code_footprint
+
+    def test_mcf_heap_is_huge_and_cold(self):
+        mcf = get_profile("spec-mcf")
+        assert mcf.memory.heap_pool_bytes >= get_profile("s1-leaf").memory.heap_pool_bytes
+        assert mcf.memory.heap_zipf < 0.5
+        assert mcf.rates.heap > 30
+
+    def test_cloudsuite_small_and_predictable(self):
+        cs = get_profile("cloudsuite-websearch")
+        s1 = get_profile("s1-leaf")
+        assert cs.memory.heap_pool_bytes < s1.memory.heap_pool_bytes
+        assert (
+            cs.branches.data_dependent_fraction
+            < s1.branches.data_dependent_fraction
+        )
+
+    def test_roots_have_no_real_shard_traffic(self):
+        for name in ("s1-root", "s2-root", "s3-root"):
+            assert get_profile(name).rates.shard < get_profile("s1-leaf").rates.shard
+
+    def test_gobmk_branchiest(self):
+        gobmk = get_profile("spec-gobmk")
+        assert gobmk.reference.branch_mpki == max(
+            p.reference.branch_mpki for p in all_profiles()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(
+                name="",
+                description="x",
+                memory=get_profile("s1-leaf").memory,
+                branches=get_profile("s1-leaf").branches,
+            )
