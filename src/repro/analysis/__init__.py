@@ -1,0 +1,45 @@
+"""AST-based simulation-correctness linter for the repro codebase.
+
+The paper's results live or die on mechanical details: byte counts vs.
+cache-line counts, seeded vs. ambient randomness, every figure module
+actually wired into the experiment runner.  ``repro.analysis`` is a small
+static-analysis framework that checks those invariants the same way a
+style linter checks formatting — as a gate, not a convention.
+
+Usage::
+
+    python -m repro.analysis src/repro
+    python -m repro.analysis src/repro --format json --select RPR1
+
+Checkers are :class:`~repro.analysis.base.Checker` subclasses registered
+with :func:`~repro.analysis.registry.register`; each owns one or more
+rule IDs (``RPR001`` …).  See ``docs/ANALYSIS.md`` for the rule catalog.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import (
+    Checker,
+    FileContext,
+    ProjectChecker,
+    ProjectContext,
+    Rule,
+    Violation,
+)
+from repro.analysis.engine import Report, lint_paths, lint_source
+from repro.analysis.registry import all_rules, checkers_for, register
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "ProjectChecker",
+    "ProjectContext",
+    "Report",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "checkers_for",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

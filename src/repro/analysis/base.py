@@ -1,0 +1,174 @@
+"""Core types of the analysis framework: rules, violations, checker bases.
+
+A :class:`Checker` is an :class:`ast.NodeVisitor` that walks one parsed
+file and reports :class:`Violation` objects; a :class:`ProjectChecker`
+sees every collected file at once and checks cross-file invariants (for
+example "every figure module is registered with the runner").  Both
+declare the :class:`Rule` objects they own so the CLI can list them and
+``--select``/``--ignore`` can address them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One addressable finding type (``RPR001`` …)."""
+
+    id: str
+    name: str
+    summary: str
+    #: Generic remediation hint, shown when a violation carries no
+    #: site-specific suggestion.
+    suggestion: str
+    category: str
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    suggestion: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.suggestion:
+            text += f" [fix: {self.suggestion}]"
+        return text
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+
+@dataclass
+class FileContext:
+    """One parsed source file as seen by checkers."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+@dataclass
+class ProjectContext:
+    """Every collected file, for cross-file invariant checkers.
+
+    ``root`` is the nearest ancestor of the scanned paths containing
+    ``pyproject.toml`` (used to locate sibling trees like ``benchmarks/``);
+    it is None when no such ancestor exists, e.g. for source-string lints.
+    """
+
+    files: list[FileContext]
+    root: Path | None = None
+
+    def by_module(self) -> dict[str, FileContext]:
+        return {ctx.module: ctx for ctx in self.files}
+
+
+def module_matches(module: str, prefixes: tuple[str, ...]) -> bool:
+    """True when ``module`` is one of ``prefixes`` or nested under one."""
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for per-file AST checkers.
+
+    Subclasses set ``rules`` and usually ``scope``/``exempt`` (module-path
+    prefixes), then implement ``visit_*`` methods that call
+    :meth:`report`.  A fresh instance is created per file, so visitors may
+    keep per-file state freely.
+    """
+
+    #: Rules this checker can emit.
+    rules: tuple[Rule, ...] = ()
+    #: Module prefixes the checker applies to (None = everywhere).
+    scope: tuple[str, ...] | None = None
+    #: Module prefixes the checker never applies to.
+    exempt: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        self._ctx: FileContext | None = None
+
+    @classmethod
+    def applies_to(cls, module: str) -> bool:
+        if module_matches(module, cls.exempt):
+            return False
+        if cls.scope is None:
+            return True
+        return module_matches(module, cls.scope)
+
+    def check_file(self, ctx: FileContext) -> list[Violation]:
+        self._ctx = ctx
+        self.violations = []
+        self.visit(ctx.tree)
+        return self.violations
+
+    def report(
+        self,
+        node: ast.AST,
+        rule: Rule,
+        message: str,
+        suggestion: str | None = None,
+    ) -> None:
+        assert self._ctx is not None
+        self.violations.append(
+            Violation(
+                path=self._ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule.id,
+                message=message,
+                suggestion=rule.suggestion if suggestion is None else suggestion,
+            )
+        )
+
+
+class ProjectChecker:
+    """Base class for whole-project invariant checkers."""
+
+    rules: tuple[Rule, ...] = ()
+
+    def check_project(self, project: ProjectContext) -> list[Violation]:
+        raise NotImplementedError
+
+    def project_report(
+        self,
+        path: str,
+        rule: Rule,
+        message: str,
+        suggestion: str | None = None,
+        line: int = 1,
+    ) -> Violation:
+        return Violation(
+            path=path,
+            line=line,
+            col=0,
+            rule=rule.id,
+            message=message,
+            suggestion=rule.suggestion if suggestion is None else suggestion,
+        )

@@ -1,0 +1,78 @@
+"""Violation baselines for incremental burn-down.
+
+A baseline records, per (file, rule), how many violations are grandfathered
+in; the engine subtracts those from each run so only *new* violations fail
+the gate.  Counts rather than line numbers keep the baseline stable across
+unrelated edits to the same file.  Regenerate with ``--write-baseline``
+after intentionally burning entries down; the goal state is an empty (or
+absent) baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.base import Violation
+from repro.errors import ConfigurationError
+
+FORMAT_VERSION = 1
+
+
+def _key(violation: Violation) -> tuple[str, str]:
+    # Paths are normalized to forward slashes so baselines are portable.
+    return (violation.path.replace("\\", "/"), violation.rule)
+
+
+def build_baseline(violations: list[Violation]) -> dict:
+    """Serializable baseline covering ``violations``."""
+    counts = Counter(_key(violation) for violation in violations)
+    return {
+        "version": FORMAT_VERSION,
+        "entries": [
+            {"path": path, "rule": rule, "count": count}
+            for (path, rule), count in sorted(counts.items())
+        ],
+    }
+
+
+def save_baseline(violations: list[Violation], path: Path) -> None:
+    path.write_text(json.dumps(build_baseline(violations), indent=2) + "\n")
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load a baseline file into a Counter keyed by (path, rule)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+    if data.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported version {data.get('version')!r}"
+        )
+    counts: Counter = Counter()
+    for entry in data.get("entries", []):
+        counts[(entry["path"], entry["rule"])] += int(entry["count"])
+    return counts
+
+
+def apply_baseline(
+    violations: list[Violation], baseline: Counter
+) -> tuple[list[Violation], int]:
+    """Drop baselined violations; return (kept, suppressed_count).
+
+    Violations are consumed in line order, so when a file has more
+    violations than its baseline allows, the newest (later) ones surface.
+    """
+    remaining = Counter(baseline)
+    kept: list[Violation] = []
+    suppressed = 0
+    for violation in sorted(violations):
+        key = _key(violation)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(violation)
+    return kept, suppressed

@@ -1,0 +1,14 @@
+"""Checker suite — importing this package registers every checker.
+
+Modules self-register via :func:`repro.analysis.registry.register`;
+add new checker modules to the import list below.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import (  # noqa: F401
+    api_hygiene,
+    determinism,
+    experiment_invariants,
+    unit_safety,
+)

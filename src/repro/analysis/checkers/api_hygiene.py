@@ -1,0 +1,130 @@
+"""API-hygiene rules (RPR301).
+
+The cache simulator and hierarchy optimizer are the load-bearing public
+surface of the repro — sizes in bytes, capacities in lines, latencies in
+ns all flow through them as plain ints and floats, so parameter and
+return annotations are the only machine-checked statement of intent at
+those boundaries.  RPR301 requires every public function and method in
+the covered modules to annotate all parameters and its return type.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, Rule
+from repro.analysis.registry import register
+
+RPR301 = Rule(
+    id="RPR301",
+    name="missing-annotations",
+    summary="Public function without complete type annotations.",
+    suggestion="annotate every parameter and the return type "
+    "(use '-> None' for procedures)",
+    category="api-hygiene",
+)
+
+#: Modules whose public surface must be fully annotated.
+HYGIENE_SCOPE = (
+    "repro.cachesim",
+    "repro.core",
+    "repro._units",
+    "repro.errors",
+)
+
+#: Dunder methods whose signatures the runtime fixes anyway.
+_EXEMPT_DUNDERS = frozenset(
+    {"__repr__", "__str__", "__hash__", "__len__", "__iter__", "__next__"}
+)
+
+
+@register
+class ApiHygieneChecker(Checker):
+    """Flags public functions missing parameter or return annotations."""
+
+    rules = (RPR301,)
+    scope = HYGIENE_SCOPE
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Nesting stack: "class" and "function" markers.
+        self._stack: list[str] = []
+
+    # -- traversal -----------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not node.name.startswith("_"):
+            self._stack.append("class")
+            self.generic_visit(node)
+            self._stack.pop()
+        # Private classes are internal surface; skip their bodies.
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self._stack.append("function")
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self._stack.append("function")
+        self.generic_visit(node)
+        self._stack.pop()
+
+    # -- the rule ------------------------------------------------------
+
+    def _is_public(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        if "function" in self._stack:
+            return False  # nested helpers are implementation detail
+        name = node.name
+        if name == "__init__":
+            return True
+        if name in _EXEMPT_DUNDERS:
+            return False
+        if name.startswith("__") and name.endswith("__"):
+            return True  # other dunders (__eq__, __enter__, ...) are API
+        return not name.startswith("_")
+
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if not self._is_public(node):
+            return
+        in_class = bool(self._stack) and self._stack[-1] == "class"
+        decorators = {
+            dec.id
+            for dec in node.decorator_list
+            if isinstance(dec, ast.Name)
+        } | {
+            dec.attr
+            for dec in node.decorator_list
+            if isinstance(dec, ast.Attribute)
+        }
+        if "overload" in decorators:
+            return
+
+        args = node.args
+        ordered = [*args.posonlyargs, *args.args]
+        if in_class and ordered and "staticmethod" not in decorators:
+            ordered = ordered[1:]  # self / cls
+        ordered += args.kwonlyargs
+        for arg in ordered:
+            if arg.annotation is None:
+                self.report(
+                    node,
+                    RPR301,
+                    f"public function {node.name!r} missing annotation "
+                    f"for parameter {arg.arg!r}",
+                )
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is None:
+                self.report(
+                    node,
+                    RPR301,
+                    f"public function {node.name!r} missing annotation "
+                    f"for parameter *{star.arg!r}",
+                )
+        if node.returns is None:
+            self.report(
+                node,
+                RPR301,
+                f"public function {node.name!r} missing return annotation",
+            )

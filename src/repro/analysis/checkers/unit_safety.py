@@ -1,0 +1,244 @@
+"""Unit-safety rules (RPR001, RPR002).
+
+A silent bytes-vs-lines or KiB-vs-MiB mixup skews every miss curve and
+AMAT number downstream, so size arithmetic must go through the named
+helpers in :mod:`repro._units`.  RPR001 flags raw power-of-1024 magic
+constants (``1 << 20``, ``1048576``, ``2 * 1024 * 1024``, a bare ``4096``
+bound to a size-like name); an expression that already references
+``KiB``/``MiB``/``GiB`` (or the ``kib``/``mib``/``gib`` helpers) is
+considered unit-anchored and exempt.  RPR002 flags additive arithmetic
+that mixes byte-unit and time-unit quantities — a category error no unit
+helper can make well-formed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.base import Checker, FileContext, Rule, Violation
+from repro.analysis.registry import register
+from repro._units import GiB, KiB, MiB, format_size
+
+RPR001 = Rule(
+    id="RPR001",
+    name="magic-size-constant",
+    summary="Raw byte-size constant instead of repro._units helpers.",
+    suggestion="express the size with KiB/MiB/GiB (or kib()/mib()/gib()) "
+    "from repro._units",
+    category="unit-safety",
+)
+
+RPR002 = Rule(
+    id="RPR002",
+    name="mixed-unit-arithmetic",
+    summary="Adds/subtracts byte-unit and time-unit quantities.",
+    suggestion="keep byte and time quantities in separate expressions; "
+    "convert explicitly at the boundary",
+    category="unit-safety",
+)
+
+_BYTE_UNIT_NAMES = frozenset({"KiB", "MiB", "GiB", "kib", "mib", "gib"})
+_TIME_UNIT_NAMES = frozenset({"NS", "US", "MS"})
+_CONVERSION_FACTORS = {KiB: "KiB", MiB: "MiB", GiB: "GiB"}
+_SHIFT_UNITS = {10: "KiB", 20: "MiB", 30: "GiB"}
+_ARITH_OPS = (ast.Mult, ast.Div, ast.FloorDiv, ast.Add, ast.Sub, ast.Mod)
+
+#: Binding names that denote byte quantities ...
+_SIZE_NAME_RE = re.compile(r"(size|bytes|page)", re.IGNORECASE)
+#: ... unless they clearly count discrete things instead.
+_COUNT_NAME_RE = re.compile(
+    r"(entries|entry|capacity|count|slots|lines|branches|events|threads"
+    r"|instructions|ways|sets|terms|docs|queries)",
+    re.IGNORECASE,
+)
+#: Names like ``L4_SIZES_MIB`` or ``paper_kib`` carry their unit already.
+_UNIT_SUFFIX_RE = re.compile(r"(^|_)(kib|mib|gib|kb|mb|gb|ns|us|ms)($|_)", re.IGNORECASE)
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {child.id for child in ast.walk(node) if isinstance(child, ast.Name)}
+
+
+def _is_size_name(name: str) -> bool:
+    return (
+        bool(_SIZE_NAME_RE.search(name))
+        and not _COUNT_NAME_RE.search(name)
+        and not _UNIT_SUFFIX_RE.search(name)
+    )
+
+
+def _suggest(value: int) -> str:
+    return f"write this as {format_size(value).replace(' ', ' * ')} (repro._units)"
+
+
+@register
+class UnitSafetyChecker(Checker):
+    """Flags raw size constants and byte/time unit mixing."""
+
+    rules = (RPR001, RPR002)
+    exempt = ("repro._units", "repro.analysis")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._flagged_lines: set[tuple[int, str]] = set()
+
+    # -- entry ---------------------------------------------------------
+
+    def check_file(self, ctx: FileContext) -> list[Violation]:
+        self._flagged_lines = set()
+        self._anchored = self._anchored_constants(ctx.tree)
+        return super().check_file(ctx)
+
+    def _report_once(
+        self, node: ast.AST, rule: Rule, message: str, suggestion: str | None = None
+    ) -> None:
+        key = (getattr(node, "lineno", 1), rule.id)
+        if key in self._flagged_lines:
+            return
+        self._flagged_lines.add(key)
+        self.report(node, rule, message, suggestion)
+
+    # -- unit anchoring ------------------------------------------------
+
+    def _anchored_constants(self, tree: ast.AST) -> set[int]:
+        """ids of int constants appearing under unit-anchored arithmetic."""
+        anchored: set[int] = set()
+
+        def walk(node: ast.AST, is_anchored: bool) -> None:
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS):
+                is_anchored = is_anchored or bool(
+                    _names_in(node) & (_BYTE_UNIT_NAMES | _TIME_UNIT_NAMES)
+                )
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, int)
+                and is_anchored
+            ):
+                anchored.add(id(node))
+            for child in ast.iter_child_nodes(node):
+                walk(child, is_anchored)
+
+        walk(tree, False)
+        return anchored
+
+    def _is_magic(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, int)
+            and not isinstance(node.value, bool)
+            and node.value >= KiB
+            and node.value % KiB == 0
+            and id(node) not in self._anchored
+        )
+
+    # -- RPR001: conversion factors and large literals -----------------
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.LShift):
+            if (
+                isinstance(node.left, ast.Constant)
+                and node.left.value == 1
+                and isinstance(node.right, ast.Constant)
+                and node.right.value in _SHIFT_UNITS
+            ):
+                unit = _SHIFT_UNITS[node.right.value]
+                self._report_once(
+                    node,
+                    RPR001,
+                    f"shift-built size constant 1 << {node.right.value}",
+                    f"write this as {unit} (repro._units)",
+                )
+        elif isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv)):
+            for side in (node.left, node.right):
+                if self._is_magic(side) and side.value in _CONVERSION_FACTORS:
+                    unit = _CONVERSION_FACTORS[side.value]
+                    self._report_once(
+                        side,
+                        RPR001,
+                        f"raw conversion factor {side.value}",
+                        f"multiply/divide by {unit} (repro._units) instead",
+                    )
+        elif isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_mixed_units(node)
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        # Literals of a whole MiB or more are size constants in disguise
+        # wherever they appear; KiB-range literals are only flagged in
+        # size-named contexts (handled below) to spare counters like
+        # ``static_branches=8192``.
+        if self._is_magic(node) and node.value >= MiB and node.value % MiB == 0:
+            self._report_once(
+                node,
+                RPR001,
+                f"magic byte constant {node.value}",
+                _suggest(node.value),
+            )
+
+    # -- RPR001: size-named bindings -----------------------------------
+
+    def _flag_size_context(self, name: str, value: ast.AST | None) -> None:
+        if value is None or not _is_size_name(name):
+            return
+        for child in ast.walk(value):
+            if self._is_magic(child):
+                self._report_once(
+                    child,
+                    RPR001,
+                    f"magic byte constant {child.value} bound to "
+                    f"size-like name {name!r}",
+                    _suggest(child.value),
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        positional = node.args.posonlyargs + node.args.args
+        for arg, default in zip(reversed(positional), reversed(node.args.defaults)):
+            self._flag_size_context(arg.arg, default)
+        for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+            if default is not None:
+                self._flag_size_context(arg.arg, default)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._flag_size_context(target.id, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._flag_size_context(node.target.id, node.value)
+        self.generic_visit(node)
+
+    def visit_keyword(self, node: ast.keyword) -> None:
+        if node.arg is not None:
+            self._flag_size_context(node.arg, node.value)
+        self.generic_visit(node)
+
+    # -- RPR002 --------------------------------------------------------
+
+    def _check_mixed_units(self, node: ast.BinOp) -> None:
+        left, right = _names_in(node.left), _names_in(node.right)
+        byte_side = (left & _BYTE_UNIT_NAMES, right & _BYTE_UNIT_NAMES)
+        time_side = (left & _TIME_UNIT_NAMES, right & _TIME_UNIT_NAMES)
+        # One operand carries byte units, the other time units, and
+        # neither operand mentions both (which would already be a
+        # conversion expression, not a mixup this rule can judge).
+        if (byte_side[0] and time_side[1] and not (time_side[0] or byte_side[1])) or (
+            byte_side[1] and time_side[0] and not (time_side[1] or byte_side[0])
+        ):
+            bytes_used = sorted((byte_side[0] | byte_side[1]))
+            times_used = sorted((time_side[0] | time_side[1]))
+            self._report_once(
+                node,
+                RPR002,
+                f"adds byte units {bytes_used} to time units {times_used}",
+            )

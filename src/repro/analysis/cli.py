@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro.analysis``.
+
+Exit codes follow linter convention: 0 clean, 1 violations found, 2 bad
+invocation (unknown paths, selectors, or baseline).  ``--format json``
+emits one machine-readable object for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import save_baseline
+from repro.analysis.engine import Report, lint_paths
+from repro.analysis.registry import all_rules
+from repro.errors import ConfigurationError
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Simulation-correctness linter for the repro codebase "
+        "(unit safety, determinism, experiment invariants, API hygiene).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src")],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="only run rules matching this ID prefix (repeatable), "
+        "e.g. --select RPR1 for the determinism family",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="skip rules matching this ID prefix (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="suppress violations recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current violations to --baseline and exit clean",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule violation counts to text output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule and exit",
+    )
+    return parser
+
+
+def _render_text(report: Report, statistics: bool) -> str:
+    lines = [violation.render() for violation in report.violations]
+    if statistics and report.violations:
+        lines.append("")
+        for rule_id, count in report.counts_by_rule().items():
+            lines.append(f"{count:5d}  {rule_id}")
+    summary = (
+        f"{len(report.violations)} violation(s) in "
+        f"{report.files_checked} file(s)"
+    )
+    suppressed = report.suppressed_noqa + report.suppressed_baseline
+    if suppressed:
+        summary += (
+            f" ({report.suppressed_noqa} noqa-suppressed, "
+            f"{report.suppressed_baseline} baselined)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  [{rule.category}] {rule.name}")
+        lines.append(f"        {rule.summary}")
+        lines.append(f"        fix: {rule.suggestion}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+
+    if args.write_baseline and args.baseline is None:
+        parser.error("--write-baseline requires --baseline FILE")
+
+    select = tuple(args.select) if args.select is not None else None
+    ignore = tuple(args.ignore)
+    try:
+        if args.write_baseline:
+            # Collect unfiltered violations, then persist them.
+            report = lint_paths(args.paths, select=select, ignore=ignore)
+            save_baseline(report.violations, args.baseline)
+            print(
+                f"wrote baseline with {len(report.violations)} entries "
+                f"to {args.baseline}"
+            )
+            return EXIT_CLEAN
+        baseline = args.baseline if args.baseline and args.baseline.exists() else None
+        report = lint_paths(
+            args.paths, select=select, ignore=ignore, baseline_path=baseline
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(_render_text(report, args.statistics))
+    return EXIT_CLEAN if report.ok else EXIT_VIOLATIONS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,243 @@
+"""File collection and lint execution.
+
+:func:`lint_paths` is the CLI's workhorse: collect ``*.py`` files, parse
+them, run every selected checker, then filter findings through in-source
+``# repro: noqa`` markers and the optional baseline.  :func:`lint_source`
+lints a source string directly — tests use it to run checkers over inline
+good/bad fixtures without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.base import (
+    FileContext,
+    ProjectContext,
+    Rule,
+    Violation,
+)
+from repro.analysis.noqa import is_suppressed
+from repro.analysis.registry import checkers_for, rule_selected
+from repro.errors import ConfigurationError
+
+#: Emitted when a file cannot be parsed at all; not part of any checker
+#: because a broken parse defeats every other rule.
+PARSE_ERROR = Rule(
+    id="RPR000",
+    name="syntax-error",
+    summary="File could not be parsed as Python.",
+    suggestion="fix the syntax error",
+    category="framework",
+)
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_noqa: int = 0
+    suppressed_baseline: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> dict[str, int]:
+        return dict(
+            sorted(Counter(violation.rule for violation in self.violations).items())
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violation_count": len(self.violations),
+            "suppressed": {
+                "noqa": self.suppressed_noqa,
+                "baseline": self.suppressed_baseline,
+            },
+            "counts_by_rule": self.counts_by_rule(),
+            "violations": [violation.to_json() for violation in self.violations],
+        }
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module path for a file, walking up through ``__init__.py`` dirs.
+
+    A file outside any package lints under its bare stem, so scoped
+    checkers (which target ``repro.*`` prefixes) skip it.
+    """
+    path = path.resolve()
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [path.parent.name]
+    return ".".join(reversed(parts))
+
+
+def project_root_for(paths: list[Path]) -> Path | None:
+    """Nearest ancestor of the first input path containing ``pyproject.toml``."""
+    for start in paths:
+        candidate = start.resolve()
+        if candidate.is_file():
+            candidate = candidate.parent
+        while True:
+            if (candidate / "pyproject.toml").exists():
+                return candidate
+            if candidate.parent == candidate:
+                break
+            candidate = candidate.parent
+    return None
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    found: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise ConfigurationError(f"no such file or directory: {path}")
+        if path.is_dir():
+            found.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(part.startswith(".") for part in candidate.parts)
+            )
+        else:
+            found.add(path)
+    return sorted(found)
+
+
+def _parse_file(path: Path) -> FileContext | Violation:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Violation(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            rule=PARSE_ERROR.id,
+            message=f"syntax error: {exc.msg}",
+            suggestion=PARSE_ERROR.suggestion,
+        )
+    return FileContext(
+        path=str(path), module=module_name_for(path), source=source, tree=tree
+    )
+
+
+def _run_checkers(
+    contexts: list[FileContext],
+    root: Path | None,
+    select: tuple[str, ...] | None,
+    ignore: tuple[str, ...],
+) -> list[Violation]:
+    file_checkers, project_checkers = checkers_for(select, ignore)
+    violations: list[Violation] = []
+    for ctx in contexts:
+        for checker_cls in file_checkers:
+            if checker_cls.applies_to(ctx.module):
+                violations.extend(checker_cls().check_file(ctx))
+    project = ProjectContext(files=contexts, root=root)
+    for project_cls in project_checkers:
+        violations.extend(project_cls().check_project(project))
+    # A checker may own several rules; enforce selection per finding too.
+    return [
+        violation
+        for violation in violations
+        if rule_selected(violation.rule, select, ignore)
+    ]
+
+
+def _filter_noqa(
+    violations: list[Violation], contexts: dict[str, FileContext]
+) -> tuple[list[Violation], int]:
+    kept: list[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        ctx = contexts.get(violation.path)
+        line = ""
+        if ctx is not None and 1 <= violation.line <= len(ctx.lines):
+            line = ctx.lines[violation.line - 1]
+        if line and is_suppressed(violation.rule, line):
+            suppressed += 1
+        else:
+            kept.append(violation)
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: list[Path],
+    select: tuple[str, ...] | None = None,
+    ignore: tuple[str, ...] = (),
+    baseline_path: Path | None = None,
+) -> Report:
+    """Lint files/directories and return a filtered :class:`Report`."""
+    files = collect_files(paths)
+    contexts: list[FileContext] = []
+    violations: list[Violation] = []
+    for path in files:
+        parsed = _parse_file(path)
+        if isinstance(parsed, Violation):
+            violations.append(parsed)
+        else:
+            contexts.append(parsed)
+
+    root = project_root_for(paths)
+    violations.extend(_run_checkers(contexts, root, select, ignore))
+    violations, noqa_count = _filter_noqa(
+        violations, {ctx.path: ctx for ctx in contexts}
+    )
+
+    baseline_count = 0
+    if baseline_path is not None:
+        counts = baseline_mod.load_baseline(baseline_path)
+        violations, baseline_count = baseline_mod.apply_baseline(violations, counts)
+
+    return Report(
+        violations=sorted(violations),
+        files_checked=len(files),
+        suppressed_noqa=noqa_count,
+        suppressed_baseline=baseline_count,
+    )
+
+
+def lint_source(
+    source: str,
+    module: str = "repro._inline",
+    path: str = "<string>",
+    select: tuple[str, ...] | None = None,
+    ignore: tuple[str, ...] = (),
+) -> list[Violation]:
+    """Lint a source string as if it were module ``module``.
+
+    The test suite leans on this: the ``module`` argument steers scoped
+    checkers (for example determinism rules only fire inside simulation
+    packages) without writing fixture trees to disk.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule=PARSE_ERROR.id,
+                message=f"syntax error: {exc.msg}",
+                suggestion=PARSE_ERROR.suggestion,
+            )
+        ]
+    ctx = FileContext(path=path, module=module, source=source, tree=tree)
+    violations = _run_checkers([ctx], None, select, ignore)
+    violations, _ = _filter_noqa(violations, {ctx.path: ctx})
+    return sorted(violations)

@@ -1,0 +1,45 @@
+"""In-source suppression comments.
+
+A violation is suppressed by a ``# repro: noqa`` comment on its line —
+bare to silence everything, or followed by rule IDs to silence only
+those::
+
+    size = 1 << 20  # repro: noqa RPR001
+    t0 = time.time()  # repro: noqa RPR102, RPR103
+
+The marker is deliberately not plain ``# noqa`` so generic linters and
+this one never fight over the same comment.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<ids>(?:\s+|\s*:\s*)RPR\d+(?:\s*,\s*RPR\d+)*)?",
+    re.IGNORECASE,
+)
+_ID_RE = re.compile(r"RPR\d+", re.IGNORECASE)
+
+
+def suppressed_rules(line: str) -> frozenset[str] | None:
+    """Rule IDs suppressed on ``line``.
+
+    Returns None when the line has no noqa marker, an empty frozenset for
+    a bare marker (suppress everything), and the named IDs otherwise.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    ids = match.group("ids")
+    if ids is None:
+        return frozenset()
+    return frozenset(found.upper() for found in _ID_RE.findall(ids))
+
+
+def is_suppressed(rule_id: str, line: str) -> bool:
+    """True when ``line`` carries a noqa marker covering ``rule_id``."""
+    rules = suppressed_rules(line)
+    if rules is None:
+        return False
+    return not rules or rule_id.upper() in rules

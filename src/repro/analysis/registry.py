@@ -1,0 +1,86 @@
+"""Checker registry and rule selection.
+
+Checkers self-register at import time via the :func:`register` decorator;
+:mod:`repro.analysis.checkers` imports every checker module so importing
+the registry's query functions always sees the full suite.  Selection
+follows the ruff convention: ``--select``/``--ignore`` take rule-ID
+prefixes, so ``RPR1`` addresses the whole determinism family.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import Checker, ProjectChecker, Rule
+from repro.errors import ConfigurationError
+
+_CHECKERS: list[type[Checker]] = []
+_PROJECT_CHECKERS: list[type[ProjectChecker]] = []
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a checker (and its rules) to the registry."""
+    if not getattr(cls, "rules", ()):
+        raise ConfigurationError(f"checker {cls.__name__} declares no rules")
+    for rule in cls.rules:
+        existing = _RULES.get(rule.id)
+        if existing is not None and existing is not rule:
+            raise ConfigurationError(f"duplicate rule id {rule.id}")
+        _RULES[rule.id] = rule
+    if issubclass(cls, ProjectChecker):
+        if cls not in _PROJECT_CHECKERS:
+            _PROJECT_CHECKERS.append(cls)
+    elif issubclass(cls, Checker):
+        if cls not in _CHECKERS:
+            _CHECKERS.append(cls)
+    else:
+        raise ConfigurationError(
+            f"{cls.__name__} is neither a Checker nor a ProjectChecker"
+        )
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Deferred to avoid a registry <-> checkers import cycle.
+    import repro.analysis.checkers  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by ID."""
+    _ensure_loaded()
+    return sorted(_RULES.values(), key=lambda rule: rule.id)
+
+
+def rule_selected(
+    rule_id: str,
+    select: tuple[str, ...] | None,
+    ignore: tuple[str, ...],
+) -> bool:
+    """Apply ``--select``/``--ignore`` prefix semantics to one rule ID."""
+    if any(rule_id.startswith(prefix) for prefix in ignore):
+        return False
+    if select is None:
+        return True
+    return any(rule_id.startswith(prefix) for prefix in select)
+
+
+def checkers_for(
+    select: tuple[str, ...] | None = None,
+    ignore: tuple[str, ...] = (),
+) -> tuple[list[type[Checker]], list[type[ProjectChecker]]]:
+    """Checker classes owning at least one selected rule."""
+    _ensure_loaded()
+    unknown = [
+        prefix
+        for prefix in (*(select or ()), *ignore)
+        if not any(rule_id.startswith(prefix) for rule_id in _RULES)
+    ]
+    if unknown:
+        raise ConfigurationError(f"unknown rule selectors: {sorted(unknown)}")
+
+    def wanted(cls: type) -> bool:
+        return any(rule_selected(rule.id, select, ignore) for rule in cls.rules)
+
+    return (
+        [cls for cls in _CHECKERS if wanted(cls)],
+        [cls for cls in _PROJECT_CHECKERS if wanted(cls)],
+    )

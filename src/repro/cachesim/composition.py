@@ -85,7 +85,9 @@ class StreamComponent:
 class CompositeCache:
     """A shared LRU cache serving several concurrent streams."""
 
-    def __init__(self, components: list[StreamComponent], capacity_lines: int):
+    def __init__(
+        self, components: list[StreamComponent], capacity_lines: int
+    ) -> None:
         if not components:
             raise ConfigurationError("need at least one stream component")
         names = [c.name for c in components]

@@ -27,9 +27,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro._units import MiB
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.cachesim.composed import ComposedHierarchy
 
 
 @dataclass(frozen=True)
@@ -110,7 +114,7 @@ class ComposedHitCurve:
     capacities, so callers can keep thinking in paper units.
     """
 
-    def __init__(self, hierarchy, scale: float = 1.0) -> None:
+    def __init__(self, hierarchy: ComposedHierarchy, scale: float = 1.0) -> None:
         if not 0 < scale <= 1:
             raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
         self._hierarchy = hierarchy

@@ -27,7 +27,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro._units import MiB, format_size, is_power_of_two
+from repro._units import KiB, MiB, format_size, is_power_of_two
 from repro.cachesim.directmapped import simulate_direct_mapped
 from repro.cachesim.misscurve import MissRatioCurve
 from repro.errors import ConfigurationError
@@ -193,7 +193,7 @@ class L4Cache:
         """Processor-die area overhead of the L4 controller (paper: <1%)."""
         return 0.01
 
-    def row_layout(self, row_bytes: int = 2048, tag_bytes: int = 8) -> dict:
+    def row_layout(self, row_bytes: int = 2 * KiB, tag_bytes: int = 8) -> dict:
         """Alloy-style tag-and-data (TAD) layout of one eDRAM row.
 
         The design stores each line's tag next to its data so a single

@@ -38,6 +38,7 @@ from typing import Callable, Protocol
 import numpy as np
 
 from repro._units import MiB, format_size
+from repro.cachesim.hierarchy import AnalyticHierarchyResult
 from repro.core.area import AreaModel
 from repro.core.l4cache import L4Cache, L4Config
 from repro.core.perf_model import MemoryLatencies, SearchPerfModel
@@ -59,7 +60,7 @@ class L3StreamSource(Protocol):
 class AnalyticStreamAdapter:
     """Adapts a trace-based AnalyticHierarchyResult to L3StreamSource."""
 
-    def __init__(self, result) -> None:
+    def __init__(self, result: AnalyticHierarchyResult) -> None:
         if result.l3_curve is None:
             raise ConfigurationError(
                 "hierarchy result has no L3 stream; simulate with an L3"

@@ -7,6 +7,7 @@
 
 from __future__ import annotations
 
+from repro._units import KiB, MiB
 from repro.cachesim.hierarchy import HierarchyConfig, simulate_hierarchy
 from repro.cachesim.prefetch import NextLinePrefetcher, StreamPrefetcher
 from repro.cpu.scaling import CoreScalingModel
@@ -89,8 +90,8 @@ def huge_page_rows(result: ExperimentResult, preset: RunPreset) -> None:
     """
     run = composed_run("s1-leaf", preset, platform="plt1")
     walk_ns = 12.0
-    small_page = max(128, int(4096 * preset.scale))
-    huge_page = max(small_page * 4, int(2 * 1024 * 1024 * preset.scale))
+    small_page = max(128, int(4 * KiB * preset.scale))
+    huge_page = max(small_page * 4, int(2 * MiB * preset.scale))
     walks_small = _stlb_walks_per_ki(run, small_page, stlb_entries=1024)
     walks_huge = _stlb_walks_per_ki(run, huge_page, stlb_entries=1024)
     time_small = _BASELINE_NS_PER_INSTR + walks_small * walk_ns / 1000.0

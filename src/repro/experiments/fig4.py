@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from repro._units import GiB
 from repro.experiments.common import ExperimentResult, RunPreset
-from repro.memtrace.trace import Segment
 from repro.search.footprint import FootprintModel
 
 EXPERIMENT_ID = "fig4"

@@ -16,13 +16,12 @@ from repro.cachesim.hierarchy import HierarchyConfig, simulate_hierarchy
 from repro.cachesim.missclass import classify_misses
 from repro.experiments.common import ExperimentResult, RunPreset
 from repro.memtrace.synthetic import SyntheticWorkload
-from repro.memtrace.trace import AccessKind
 from repro.workloads.profiles import get_profile
 
 EXPERIMENT_ID = "fig7"
 TITLE = "MPKI sensitivity to associativity and block size"
 
-_BLOCK_SIZES = (32, 64, 128, 256, 512, 1024)
+_BLOCK_SIZES = (32, 64, 128, 256, 512, 1024)  # repro: noqa RPR001 -- byte sweep
 
 
 def _trace(preset: RunPreset, instructions: int):

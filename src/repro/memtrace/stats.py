@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._units import KiB
 from repro.errors import TraceError
 from repro.memtrace.trace import Segment, Trace
 
@@ -36,7 +37,7 @@ def segment_working_sets(trace: Trace, block_size: int = 64) -> dict[Segment, in
     }
 
 
-def footprint_bytes(trace: Trace, page_size: int = 4096) -> int:
+def footprint_bytes(trace: Trace, page_size: int = 4 * KiB) -> int:
     """Touched memory at page granularity — a proxy for allocated footprint.
 
     The paper's Figure 4 reports allocator-level footprint; at trace level

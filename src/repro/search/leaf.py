@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._units import KiB
 from repro.errors import ConfigurationError
 from repro.memtrace.trace import AccessKind, Segment
 from repro.search.indexer import IndexShard
@@ -108,7 +109,7 @@ class LeafServer:
         addr = self._code_addr.get(stage, -1)
         if addr < 0:
             return
-        size = max(_LINE, int(fraction * 4096))
+        size = max(_LINE, int(fraction * (4 * KiB)))
         recorder.touch(addr, size, AccessKind.INSTR, Segment.CODE)
 
     def _touch(self, addr: int, size: int, kind: AccessKind, segment: Segment) -> None:

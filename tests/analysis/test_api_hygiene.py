@@ -1,0 +1,87 @@
+"""Tests for RPR301 (API hygiene: annotations on public surface)."""
+
+from repro.analysis import lint_source
+
+MODULE = "repro.cachesim.fixture"
+
+
+def rules(source, module=MODULE):
+    return [v.rule for v in lint_source(source, module=module, select=("RPR3",))]
+
+
+class TestMissingAnnotationsBad:
+    def test_missing_return(self):
+        assert rules("def access(line: int):\n    pass\n") == ["RPR301"]
+
+    def test_missing_parameter(self):
+        assert rules("def access(line) -> bool:\n    return True\n") == ["RPR301"]
+
+    def test_method_and_init(self):
+        src = (
+            "class Cache:\n"
+            "    def __init__(self, size):\n"
+            "        self.size = size\n"
+        )
+        # Missing both the ``size`` annotation and ``-> None``.
+        assert rules(src) == ["RPR301", "RPR301"]
+
+    def test_message_names_parameter(self):
+        (violation,) = lint_source(
+            "def f(x: int, y) -> int:\n    return x\n",
+            module=MODULE,
+            select=("RPR3",),
+        )
+        assert "'y'" in violation.message
+
+
+class TestMissingAnnotationsGood:
+    def test_fully_annotated(self):
+        src = "def access(line: int) -> tuple[bool, int | None]:\n    ...\n"
+        assert rules(src) == []
+
+    def test_private_function_exempt(self):
+        assert rules("def _helper(x):\n    return x\n") == []
+
+    def test_nested_function_exempt(self):
+        src = (
+            "def outer(x: int) -> int:\n"
+            "    def inner(y):\n"
+            "        return y\n"
+            "    return inner(x)\n"
+        )
+        assert rules(src) == []
+
+    def test_self_and_cls_exempt(self):
+        src = (
+            "class Cache:\n"
+            "    def access(self, line: int) -> bool:\n"
+            "        return True\n"
+            "    @classmethod\n"
+            "    def build(cls, size: int) -> 'Cache':\n"
+            "        return cls()\n"
+        )
+        assert rules(src) == []
+
+    def test_repr_exempt(self):
+        src = "class Cache:\n    def __repr__(self):\n        return 'c'\n"
+        assert rules(src) == []
+
+    def test_private_class_exempt(self):
+        src = "class _Helper:\n    def access(self, line):\n        return line\n"
+        assert rules(src) == []
+
+    def test_out_of_scope_package(self):
+        src = "def access(line):\n    return line\n"
+        assert rules(src, module="repro.search.fixture") == []
+
+    def test_units_and_errors_modules_are_clean(self):
+        # Satellite guarantee: the root helper modules pass with zero
+        # exemptions.
+        from pathlib import Path
+
+        from repro.analysis import lint_paths
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        for module in ("_units.py", "errors.py"):
+            report = lint_paths([src / module], select=("RPR3",))
+            assert report.violations == [], module

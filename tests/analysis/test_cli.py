@@ -1,0 +1,101 @@
+"""Tests for the ``python -m repro.analysis`` CLI surface."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_USAGE, EXIT_VIOLATIONS, main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+DIRTY = "import random\nsize = 1 << 20\nx = random.random()\n"
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    # Placed inside a fake simulation package so scoped checkers fire.
+    package = tmp_path / "repro" / "cachesim"
+    package.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (package / "__init__.py").write_text("")
+    target = package / "dirty.py"
+    target.write_text(DIRTY)
+    return target
+
+
+class TestExitCodes:
+    def test_clean_run(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == EXIT_CLEAN
+
+    def test_violations_exit_one(self, dirty_file, capsys):
+        assert main([str(dirty_file)]) == EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "RPR101" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == EXIT_USAGE
+
+    def test_unknown_selector_exits_two(self, dirty_file, capsys):
+        assert main([str(dirty_file), "--select", "BOGUS"]) == EXIT_USAGE
+
+
+class TestSelection:
+    def test_select_narrows(self, dirty_file, capsys):
+        main([str(dirty_file), "--select", "RPR1"])
+        out = capsys.readouterr().out
+        assert "RPR101" in out and "RPR001" not in out
+
+    def test_ignore_drops(self, dirty_file, capsys):
+        main([str(dirty_file), "--ignore", "RPR101"])
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "RPR101" not in out
+
+
+class TestJsonOutput:
+    def test_machine_readable(self, dirty_file, capsys):
+        code = main([str(dirty_file), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_VIOLATIONS
+        assert payload["ok"] is False
+        assert payload["counts_by_rule"] == {"RPR001": 1, "RPR101": 1}
+        violation = payload["violations"][0]
+        assert {"path", "line", "col", "rule", "message", "suggestion"} <= set(
+            violation
+        )
+
+
+class TestBaselineFlow:
+    def test_write_then_enforce(self, dirty_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main([str(dirty_file), "--baseline", str(baseline), "--write-baseline"])
+            == EXIT_CLEAN
+        )
+        # With the baseline, the same tree is clean ...
+        assert main([str(dirty_file), "--baseline", str(baseline)]) == EXIT_CLEAN
+        # ... and a new violation still fails the gate.
+        dirty_file.write_text(DIRTY + "other_size = 1 << 30\n")
+        assert main([str(dirty_file), "--baseline", str(baseline)]) == EXIT_VIOLATIONS
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in ("RPR001", "RPR101", "RPR201", "RPR301"):
+            assert rule_id in out
+
+
+class TestModuleInvocation:
+    def test_python_dash_m(self, dirty_file):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(dirty_file)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == EXIT_VIOLATIONS
+        assert "RPR001" in proc.stdout

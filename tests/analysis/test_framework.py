@@ -1,0 +1,125 @@
+"""Tests for the analysis framework itself: noqa, baselines, selection."""
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths, lint_source
+from repro.analysis.baseline import (
+    apply_baseline,
+    build_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import module_name_for
+from repro.analysis.noqa import is_suppressed, suppressed_rules
+from repro.errors import ConfigurationError
+
+MODULE = "repro.cachesim.fixture"
+
+
+class TestRegistry:
+    def test_rule_catalog_covers_all_categories(self):
+        categories = {rule.category for rule in all_rules()}
+        assert {
+            "unit-safety",
+            "determinism",
+            "experiment-invariant",
+            "api-hygiene",
+        } <= categories
+
+    def test_rules_have_docs_and_suggestions(self):
+        for rule in all_rules():
+            assert rule.id.startswith("RPR")
+            assert rule.summary and rule.suggestion and rule.name
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lint_source("x = 1", module=MODULE, select=("NOPE",))
+
+    def test_select_and_ignore_prefixes(self):
+        src = "import random\nsize = 1 << 20\nx = random.random()\n"
+        all_hits = {v.rule for v in lint_source(src, module=MODULE)}
+        assert all_hits == {"RPR001", "RPR101"}
+        only_unit = lint_source(src, module=MODULE, select=("RPR0",))
+        assert {v.rule for v in only_unit} == {"RPR001"}
+        ignored = lint_source(src, module=MODULE, ignore=("RPR001",))
+        assert {v.rule for v in ignored} == {"RPR101"}
+
+
+class TestNoqa:
+    def test_bare_marker_suppresses_everything(self):
+        assert suppressed_rules("x = 1  # repro: noqa") == frozenset()
+        assert is_suppressed("RPR001", "x = 1  # repro: noqa")
+
+    def test_listed_ids_only(self):
+        line = "x = 1 << 20  # repro: noqa RPR001, RPR102"
+        assert is_suppressed("RPR001", line)
+        assert is_suppressed("RPR102", line)
+        assert not is_suppressed("RPR101", line)
+
+    def test_trailing_prose_allowed(self):
+        line = "x = 1024  # repro: noqa RPR001 -- sweep of raw byte counts"
+        assert is_suppressed("RPR001", line)
+
+    def test_plain_noqa_is_not_ours(self):
+        assert suppressed_rules("x = 1  # noqa") is None
+
+    def test_suppression_applies_in_lint(self):
+        dirty = "size = 1 << 20\n"
+        clean = "size = 1 << 20  # repro: noqa RPR001\n"
+        assert lint_source(dirty, module=MODULE, select=("RPR0",))
+        assert not lint_source(clean, module=MODULE, select=("RPR0",))
+
+
+class TestBaseline:
+    def _violations(self):
+        return lint_source(
+            "a_size = 1 << 20\nb_size = 1 << 20\n", module=MODULE, select=("RPR0",)
+        )
+
+    def test_roundtrip(self, tmp_path):
+        violations = self._violations()
+        assert len(violations) == 2
+        path = tmp_path / "baseline.json"
+        save_baseline(violations, path)
+        counts = load_baseline(path)
+        kept, suppressed = apply_baseline(violations, counts)
+        assert kept == [] and suppressed == 2
+
+    def test_partial_burn_down_surfaces_newest(self):
+        violations = self._violations()
+        kept, suppressed = apply_baseline(
+            violations, {("<string>", "RPR001"): 1}
+        )
+        assert suppressed == 1
+        assert [v.line for v in kept] == [2]
+
+    def test_build_baseline_counts_per_file_and_rule(self):
+        entries = build_baseline(self._violations())["entries"]
+        assert entries == [{"path": "<string>", "rule": "RPR001", "count": 2}]
+
+    def test_corrupt_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+
+class TestEngine:
+    def test_module_name_resolution(self, tmp_path):
+        package = tmp_path / "pkg" / "sub"
+        package.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        (package / "mod.py").write_text("")
+        assert module_name_for(package / "mod.py") == "pkg.sub.mod"
+        assert module_name_for(package / "__init__.py") == "pkg.sub"
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = lint_paths([bad])
+        assert [v.rule for v in report.violations] == ["RPR000"]
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            lint_paths([tmp_path / "does-not-exist"])

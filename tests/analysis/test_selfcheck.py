@@ -1,0 +1,34 @@
+"""The linter's own gate: ``src/repro`` must lint clean.
+
+This test is what makes ``pytest`` double as the lint session — any PR
+that introduces a unit-safety, determinism, experiment-invariant, or
+API-hygiene violation fails tier-1 here, not just in the separate CI
+lint job.  If a violation is ever intentionally grandfathered, commit a
+baseline at ``analysis-baseline.json`` and this test will honor it;
+today the baseline is empty and the tree lints clean.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "analysis-baseline.json"
+
+
+def test_src_repro_lints_clean():
+    baseline = BASELINE if BASELINE.exists() else None
+    report = lint_paths([REPO_ROOT / "src" / "repro"], baseline_path=baseline)
+    rendered = "\n".join(v.render() for v in report.violations)
+    assert report.ok, f"repro.analysis found violations:\n{rendered}"
+    assert report.files_checked > 80
+
+
+def test_benchmarks_and_experiments_in_sync():
+    # Directional guard for RPR202's premise: the benchmarks tree exists
+    # and covers every experiment module (checked precisely by RPR202).
+    assert (REPO_ROOT / "benchmarks").is_dir()
+    report = lint_paths(
+        [REPO_ROOT / "src" / "repro" / "experiments"], select=("RPR2",)
+    )
+    assert report.ok

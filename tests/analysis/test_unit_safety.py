@@ -1,0 +1,80 @@
+"""Tests for RPR001/RPR002 (unit safety): true positives and negatives."""
+
+from repro.analysis import lint_source
+
+MODULE = "repro.cachesim.fixture"
+
+
+def rules(source, module=MODULE, select=("RPR0",)):
+    return [v.rule for v in lint_source(source, module=module, select=select)]
+
+
+class TestMagicSizeConstantBad:
+    def test_shift_built_mib(self):
+        assert rules("CAPACITY = 1 << 20") == ["RPR001"]
+
+    def test_shift_built_kib_and_gib(self):
+        assert rules("a = 1 << 10\nb = 1 << 30") == ["RPR001", "RPR001"]
+
+    def test_raw_conversion_chain(self):
+        assert "RPR001" in rules("huge_page = 2 * 1024 * 1024")
+
+    def test_large_literal_anywhere(self):
+        # A whole-MiB literal is a size constant wherever it appears.
+        assert rules("sweep = [1048576, 3]") == ["RPR001"]
+
+    def test_size_named_parameter_default(self):
+        src = "def f(page_size=4096):\n    return page_size\n"
+        assert rules(src) == ["RPR001"]
+
+    def test_size_named_assignment_subtree(self):
+        assert rules("size = max(128, int(fraction * 4096))") == ["RPR001"]
+
+    def test_size_named_keyword_argument(self):
+        assert rules("layout(row_bytes=2048)") == ["RPR001"]
+
+    def test_suggestion_names_unit_helper(self):
+        (violation,) = lint_source("x = 1 << 20", module=MODULE, select=("RPR0",))
+        assert "MiB" in violation.suggestion
+
+
+class TestMagicSizeConstantGood:
+    def test_unit_anchored_multiplication(self):
+        assert rules("cap = 45 * MiB") == []
+        assert rules("cap = int(1024 * MiB * scale)") == []
+
+    def test_helper_calls(self):
+        assert rules("from repro._units import mib\ncap = mib(45)") == []
+
+    def test_count_like_names(self):
+        assert rules("def f(stlb_entries=1024, capacity=4096):\n    pass\n") == []
+
+    def test_unit_suffixed_names(self):
+        assert rules("L4_SIZES_MIB = (128, 256, 512, 1024, 2048)") == []
+
+    def test_small_and_unaligned_literals(self):
+        assert rules("block_size = 64\nn = 1000\nx = 12345") == []
+
+    def test_shift_of_non_unit_amount(self):
+        assert rules("pattern_entries = 1 << 18") == []
+
+    def test_units_module_itself_exempt(self):
+        assert rules("KiB = 1024", module="repro._units") == []
+
+
+class TestMixedUnitArithmetic:
+    def test_bad_byte_plus_time(self):
+        assert rules("x = 4 * MiB + 10 * NS") == ["RPR002"]
+
+    def test_bad_time_minus_byte(self):
+        assert rules("x = latency * MS - 2 * GiB") == ["RPR002"]
+
+    def test_good_byte_plus_byte(self):
+        assert rules("x = 4 * MiB + 256 * KiB") == []
+
+    def test_good_time_plus_time(self):
+        assert rules("x = 5 * NS + 1 * US") == []
+
+    def test_good_ratio_conversion(self):
+        # bytes-per-ns style expressions are not additive mixing.
+        assert rules("bw = 16 * GiB / (1 * MS)") == []

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro._units import KiB, MiB
+from repro._units import MiB
 from repro.cachesim.composed import ComposedHierarchy, SegmentRates
 from repro.cachesim.hierarchy import HierarchyConfig
 from repro.errors import ConfigurationError

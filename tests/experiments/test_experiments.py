@@ -25,7 +25,7 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.common import ExperimentResult, composed_run
-from repro.memtrace.trace import Segment
+
 
 
 @pytest.fixture(scope="module")

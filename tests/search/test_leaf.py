@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.memtrace.trace import AccessKind, Segment
+from repro.memtrace.trace import Segment
 from repro.search.documents import Corpus, CorpusConfig
 from repro.search.indexer import InvertedIndexBuilder
 from repro.search.leaf import LeafServer

@@ -10,7 +10,7 @@ synthetic ones.
 import numpy as np
 import pytest
 
-from repro._units import KiB, MiB
+from repro._units import MiB
 from repro.cachesim import HierarchyConfig, simulate_hierarchy
 from repro.cachesim.composed import ComposedHierarchy, SegmentRates
 from repro.cachesim.composition import CompositeCache, StreamComponent
