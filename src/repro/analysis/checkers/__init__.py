@@ -10,5 +10,6 @@ from repro.analysis.checkers import (  # noqa: F401
     api_hygiene,
     determinism,
     experiment_invariants,
+    time_safety,
     unit_safety,
 )

@@ -44,7 +44,9 @@ RPR202 = Rule(
 )
 
 #: Experiment modules follow these stem patterns under repro.experiments.
-_EXPERIMENT_STEM_RE = re.compile(r"^(fig\d+|table\d+|power|discussion|ablations)$")
+_EXPERIMENT_STEM_RE = re.compile(
+    r"^(fig\d+|table\d+|power|discussion|ablations|slo)$"
+)
 _RUNNER_MODULE = "repro.experiments.runner"
 _EXPERIMENTS_PACKAGE = "repro.experiments"
 

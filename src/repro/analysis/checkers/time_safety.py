@@ -1,0 +1,74 @@
+"""Time-parameter unit rule (RPR003).
+
+The serving tree passes deadlines, backoffs, and hedge delays around as
+bare floats; :mod:`repro._units` fixes milliseconds as their unit.  A
+parameter named plain ``deadline`` invites a caller to pass seconds (or
+simulated ticks) without any reviewer noticing — the serving-layer twin
+of the byte-size mixups RPR001 exists for.  RPR003 therefore requires
+time-like *parameters* in ``repro.search`` to carry an explicit unit
+suffix (a bare ``deadline`` must become ``deadline_ms``).  Only function signatures are
+checked: they are the API boundary; locals can call a drawn latency
+whatever the surrounding code reads best as.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, Rule
+from repro.analysis.registry import register
+
+RPR003 = Rule(
+    id="RPR003",
+    name="bare-time-parameter",
+    summary="Time-like parameter without a unit suffix.",
+    suggestion="suffix the parameter with its unit, e.g. deadline_ms "
+    "(milliseconds per repro._units)",
+    category="unit-safety",
+)
+
+#: Parameter names that denote a duration or instant but carry no unit.
+_BARE_TIME_NAMES = frozenset(
+    {
+        "deadline",
+        "timeout",
+        "backoff",
+        "delay",
+        "latency",
+        "overhead",
+        "interval",
+        "slo",
+        "budget",
+        "hedge_after",
+        "service_time",
+    }
+)
+
+
+@register
+class TimeParameterChecker(Checker):
+    """Flags unsuffixed time-like parameters in the serving tree."""
+
+    rules = (RPR003,)
+    scope = ("repro.search",)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_signature(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_signature(node)
+        self.generic_visit(node)
+
+    def _check_signature(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            name = arg.arg
+            if name in _BARE_TIME_NAMES:
+                self.report(
+                    arg,
+                    RPR003,
+                    f"time-like parameter {name!r} of {node.name}() has no "
+                    "unit suffix",
+                    f"rename to {name}_ms (milliseconds, per repro._units)",
+                )

@@ -26,3 +26,36 @@ class SimulationError(ReproError, RuntimeError):
 
 class CalibrationError(ReproError, RuntimeError):
     """A model could not be calibrated against its measurement anchors."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """A query could not be served by the aggregation tree."""
+
+
+class LeafUnavailableError(ServingError):
+    """A leaf server failed to answer an RPC (transient or fail-stop).
+
+    ``transient`` distinguishes retryable failures from fail-stop ones;
+    ``after_ms`` is the simulated time the caller spent before learning
+    of the failure (error responses are not free).
+    """
+
+    def __init__(self, leaf_id: int, transient: bool, after_ms: float) -> None:
+        kind = "transient error" if transient else "hard failure"
+        super().__init__(f"leaf {leaf_id}: {kind} after {after_ms:.2f} ms")
+        self.leaf_id = leaf_id
+        self.transient = transient
+        self.after_ms = after_ms
+
+
+class DeadlineExceededError(ServingError):
+    """A query's deadline expired before every leaf answered."""
+
+    def __init__(self, deadline_ms: float, answered: int, total: int) -> None:
+        super().__init__(
+            f"deadline of {deadline_ms:g} ms expired with {answered}/{total} "
+            "leaves answered"
+        )
+        self.deadline_ms = deadline_ms
+        self.answered = answered
+        self.total = total

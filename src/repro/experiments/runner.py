@@ -27,6 +27,7 @@ from repro.experiments import (
     fig13,
     fig14,
     power,
+    slo,
     table1,
     table2,
 )
@@ -49,6 +50,7 @@ ALL_MODULES = (
     fig13,
     fig14,
     power,
+    slo,
     discussion,
     ablations,
 )

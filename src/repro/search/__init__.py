@@ -17,7 +17,9 @@ from repro.search.tokenizer import tokenize
 from repro.search.postings import PostingList, decode_postings, encode_postings
 from repro.search.scoring import Bm25Parameters, bm25_score
 from repro.search.indexer import IndexShard, InvertedIndexBuilder
-from repro.search.latency import QueryLatencyModel
+from repro.search.latency import LatencyAccumulator, QueryLatencyModel
+from repro.search.faults import FaultInjector, FaultSpec, SimulatedClock
+from repro.search.policies import HedgePolicy, RetryPolicy, ServingPolicy
 from repro.search.serialization import shard_from_bytes, shard_to_bytes
 from repro.search.simmem import SimulatedMemory, TraceRecorder
 from repro.search.querygen import QueryGenerator, QueryGeneratorConfig
@@ -42,6 +44,13 @@ __all__ = [
     "SimulatedMemory",
     "TraceRecorder",
     "QueryLatencyModel",
+    "LatencyAccumulator",
+    "FaultInjector",
+    "FaultSpec",
+    "SimulatedClock",
+    "RetryPolicy",
+    "HedgePolicy",
+    "ServingPolicy",
     "shard_to_bytes",
     "shard_from_bytes",
     "QueryGenerator",

@@ -15,9 +15,12 @@ from repro.errors import ConfigurationError
 from repro.memtrace.interleave import interleave_round_robin
 from repro.memtrace.trace import Trace
 from repro.search.documents import Corpus, CorpusConfig
+from repro.search.faults import FaultInjector, FaultSpec
 from repro.search.frontend import FrontendServer, ResultCache
 from repro.search.indexer import InvertedIndexBuilder
+from repro.search.latency import LatencyAccumulator, QueryLatencyModel
 from repro.search.leaf import LeafServer
+from repro.search.policies import ServingPolicy
 from repro.search.querygen import QueryGenerator
 from repro.search.root import RootServer, SearchResultPage
 from repro.search.simmem import SimulatedMemory, TraceRecorder
@@ -134,12 +137,67 @@ class SearchCluster:
         return interleave_round_robin(traces, chunk=chunk)
 
     def stats(self) -> ClusterStats:
-        """Aggregate counters of the run so far."""
-        trace_accesses = sum(r.pending_accesses for r in self.recorders)
+        """Aggregate counters of the run so far.
+
+        Counters are cumulative over the cluster's lifetime: they survive
+        trace drains (``TraceRecorder.reset``), unlike the recorders'
+        ``pending_accesses`` buffers.
+        """
         return ClusterStats(
             queries=self.frontend.queries_received,
             frontend_cache_hit_rate=self.frontend.cache.hit_rate,
             postings_scored=sum(leaf.postings_scored for leaf in self.leaves),
-            leaf_instructions=sum(r.instructions for r in self.recorders),
-            trace_accesses=trace_accesses,
+            leaf_instructions=sum(r.total_instructions for r in self.recorders),
+            trace_accesses=sum(r.total_accesses for r in self.recorders),
         )
+
+    # ------------------------------------------------------------------
+    # Robust serving
+    # ------------------------------------------------------------------
+
+    def with_faults(
+        self,
+        spec: FaultSpec,
+        policy: ServingPolicy | None = None,
+        latency_model: QueryLatencyModel | None = None,
+        result_cache_capacity: int = 0,
+        seed: int = 0,
+    ) -> "SearchCluster":
+        """A view of this cluster serving through a fault injector.
+
+        Reuses the (expensive) corpus, shards, and aggregation tree but
+        swaps in a fresh front end — new result cache, new injector, new
+        simulated clock — so fault configurations can be swept without
+        rebuilding the index and without cross-contaminating caches.
+        """
+        frontend = FrontendServer(
+            self.frontend.root,
+            vocabulary=self.corpus.vocabulary,
+            cache=ResultCache(result_cache_capacity),
+            injector=FaultInjector(spec, model=latency_model, seed=seed),
+            policy=policy,
+        )
+        return SearchCluster(
+            corpus=self.corpus,
+            leaves=self.leaves,
+            frontend=frontend,
+            recorders=self.recorders,
+            memory=self.memory,
+        )
+
+    def serve_with_outcomes(
+        self,
+        queries: list[list[int]],
+        top_k: int = 10,
+        deadline_ms: float | None = None,
+    ) -> tuple[list[SearchResultPage], LatencyAccumulator]:
+        """Serve a query stream and accumulate per-query serving outcomes."""
+        outcomes = LatencyAccumulator()
+        pages = []
+        for query in queries:
+            page = self.frontend.search_terms(
+                query, top_k=top_k, deadline_ms=deadline_ms
+            )
+            outcomes.observe(page)
+            pages.append(page)
+        return pages, outcomes

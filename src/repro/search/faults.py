@@ -1,0 +1,161 @@
+"""Simulated-clock fault injection for the serving tree.
+
+The paper's serving hierarchy (Figure 1) runs under a strict latency SLO,
+and §IV-B re-checks tail latency after rebalancing.  Real serving trees
+meet that SLO *despite* misbehaving leaves: queueing spikes, transient
+RPC errors, and fail-stop machine losses are the steady state at fleet
+scale.  This module is the substrate that lets the simulated tree exhibit
+those behaviours deterministically:
+
+* :class:`SimulatedClock` — a manually advanced millisecond clock, so the
+  serving path never reads wall-clock time (RPR102) and every run is
+  replayable.
+* :class:`FaultSpec` — per-leaf-call probabilities of latency spikes,
+  transient errors, and fail-stop deaths, plus the queueing utilization
+  the healthy latency draws are conditioned on.
+* :class:`FaultInjector` — the seeded sampler the aggregators consult
+  before every leaf RPC.  Healthy calls draw an M/M/1 sojourn time from
+  :class:`~repro.search.latency.QueryLatencyModel`; faulty ones raise
+  :class:`~repro.errors.LeafUnavailableError` with the simulated time the
+  caller lost before learning of the failure.
+
+Every draw consumes the same number of random variates regardless of the
+configured rates, so runs at different fault rates are *coupled*: the
+underlying latency stream is identical and only the fault classification
+changes.  That is what makes the SLO experiment's sweeps smooth at modest
+query counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, LeafUnavailableError
+from repro.search.latency import QueryLatencyModel
+
+
+class SimulatedClock:
+    """A monotonic, manually advanced clock in milliseconds."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ConfigurationError(f"start_ms must be >= 0, got {start_ms}")
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward; returns the new time."""
+        if delta_ms < 0:
+            raise ConfigurationError(
+                f"time cannot move backwards: delta {delta_ms}"
+            )
+        self._now_ms += delta_ms
+        return self._now_ms
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-leaf-call fault probabilities and severities."""
+
+    #: Probability a healthy call's latency is multiplied by
+    #: ``spike_multiplier`` (a GC pause, an antagonist, a queue burst).
+    latency_spike_rate: float = 0.0
+    spike_multiplier: float = 6.0
+    #: Probability a call fails with a retryable error.
+    transient_error_rate: float = 0.0
+    #: Probability a call kills the leaf outright (fail-stop; the leaf
+    #: stays dead until :meth:`FaultInjector.revive`).
+    hard_failure_rate: float = 0.0
+    #: Simulated time to learn of a hard failure (connection refused is
+    #: fast; it is not free).
+    hard_fail_detect_ms: float = 0.5
+    #: Queueing utilization the healthy sojourn-time draws assume.
+    utilization: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("latency_spike_rate", "transient_error_rate", "hard_failure_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.spike_multiplier < 1.0:
+            raise ConfigurationError(
+                f"spike_multiplier must be >= 1, got {self.spike_multiplier}"
+            )
+        if self.hard_fail_detect_ms < 0:
+            raise ConfigurationError("hard_fail_detect_ms must be >= 0")
+        if not 0.0 <= self.utilization < 1.0:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1), got {self.utilization}"
+            )
+
+
+class FaultInjector:
+    """Samples per-RPC leaf behaviour from a :class:`FaultSpec`.
+
+    One injector serves a whole tree; aggregators call
+    :meth:`leaf_latency_ms` once per attempted leaf RPC.  The injector
+    owns the run's :class:`SimulatedClock` (advanced by the front end as
+    queries complete) and records when each fail-stop death happened.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec | None = None,
+        model: QueryLatencyModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec or FaultSpec()
+        self.model = model or QueryLatencyModel()
+        self.clock = SimulatedClock()
+        self._rng = np.random.default_rng(seed)
+        #: leaf_id -> simulated time of death, in arrival order.
+        self.died_at_ms: dict[int, float] = {}
+        self.calls = 0
+        self.spikes = 0
+        self.transient_errors = 0
+        self.hard_failures = 0
+
+    # ------------------------------------------------------------------
+
+    def is_dead(self, leaf_id: int) -> bool:
+        return leaf_id in self.died_at_ms
+
+    def revive(self, leaf_id: int) -> None:
+        """Bring a fail-stopped leaf back (a repair/replacement event)."""
+        self.died_at_ms.pop(leaf_id, None)
+
+    def leaf_latency_ms(self, leaf_id: int) -> float:
+        """The simulated latency of one leaf RPC.
+
+        Raises :class:`LeafUnavailableError` for transient errors and for
+        calls to dead (or newly dying) leaves.  Always consumes exactly
+        four random variates so different fault rates share one latency
+        stream.
+        """
+        self.calls += 1
+        u_hard, u_transient, u_spike = self._rng.uniform(size=3)
+        latency = self.model.sample_leaf_ms(self._rng, self.spec.utilization)
+
+        if self.is_dead(leaf_id):
+            raise LeafUnavailableError(
+                leaf_id, transient=False, after_ms=self.spec.hard_fail_detect_ms
+            )
+        if u_hard < self.spec.hard_failure_rate:
+            self.hard_failures += 1
+            self.died_at_ms[leaf_id] = self.clock.now_ms
+            raise LeafUnavailableError(
+                leaf_id, transient=False, after_ms=self.spec.hard_fail_detect_ms
+            )
+        if u_transient < self.spec.transient_error_rate:
+            self.transient_errors += 1
+            # The error surfaces when the reply would have: full latency.
+            raise LeafUnavailableError(leaf_id, transient=True, after_ms=latency)
+        if u_spike < self.spec.latency_spike_rate:
+            self.spikes += 1
+            latency *= self.spec.spike_multiplier
+        return latency

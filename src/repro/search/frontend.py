@@ -7,30 +7,45 @@ cache, and only forwards misses to the root.  The cache is also why leaf
 traffic loses query-level locality — repeated queries are absorbed here,
 leaving the leaves the long Zipf tail (the paper's explanation for the
 shard's poor temporal locality, §III-B).
+
+The front end is also where robustness policy is applied: queries may
+carry a deadline (ms), outcomes are stamped on the returned page, and —
+critically — *degraded* pages are never cached, so one leaf hiccup cannot
+poison the result cache for the lifetime of an entry.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import replace
+from typing import Hashable
 
 from repro.errors import ConfigurationError
 from repro.search.documents import Vocabulary
+from repro.search.faults import FaultInjector
+from repro.search.policies import ServingPolicy
 from repro.search.root import RootServer, SearchResultPage
 from repro.search.tokenizer import terms_for_query
 
 
 class ResultCache:
-    """A bounded LRU cache of query results."""
+    """A bounded LRU cache of query results.
+
+    ``capacity=0`` is a legitimate configuration — a disabled cache that
+    stores nothing and counts every lookup as a miss (useful when an
+    experiment must see every query reach the leaves).
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
-        if capacity < 1:
-            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict[tuple[int, ...], SearchResultPage] = OrderedDict()
+        self._entries: OrderedDict[Hashable, SearchResultPage] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def get(self, key: tuple[int, ...]) -> SearchResultPage | None:
+    def get(self, key: Hashable) -> SearchResultPage | None:
         page = self._entries.get(key)
         if page is None:
             self.misses += 1
@@ -39,11 +54,20 @@ class ResultCache:
         self.hits += 1
         return page
 
-    def put(self, key: tuple[int, ...], page: SearchResultPage) -> None:
+    def put(self, key: Hashable, page: SearchResultPage) -> None:
+        """Insert or refresh an entry; never grows past ``capacity``.
+
+        Overwriting an existing key updates the stored page in place (no
+        spurious eviction of a neighbour) and counts as a refresh, not an
+        eviction.
+        """
+        if self.capacity == 0:
+            return
         self._entries[key] = page
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,29 +86,72 @@ class FrontendServer:
         root: RootServer,
         vocabulary: Vocabulary | None = None,
         cache: ResultCache | None = None,
+        injector: FaultInjector | None = None,
+        policy: ServingPolicy | None = None,
     ) -> None:
         self.root = root
         self.vocabulary = vocabulary
-        self.cache = cache or ResultCache()
+        # `cache or ResultCache()` would discard an explicitly passed
+        # *empty* cache: ResultCache defines __len__, so one with no
+        # entries (any fresh cache, and any capacity-0 cache forever) is
+        # falsy.  Compare against None.
+        self.cache = cache if cache is not None else ResultCache()
+        self.injector = injector
+        self.policy = policy or ServingPolicy()
         self.queries_received = 0
+        self.degraded_served = 0
 
-    def search_terms(self, terms: list[int], top_k: int = 10) -> SearchResultPage:
-        """Serve a pre-tokenized query (term ids)."""
+    def search_terms(
+        self,
+        terms: list[int],
+        top_k: int = 10,
+        deadline_ms: float | None = None,
+        on_incomplete: str = "degrade",
+    ) -> SearchResultPage:
+        """Serve a pre-tokenized query (term ids).
+
+        Cache hits are free in simulated time (the paper's point: the
+        caches absorb popular queries before they cost fan-out work), so
+        a cached page is restamped with zero latency.  Only *complete*
+        pages are cached.
+        """
         self.queries_received += 1
-        # Normalize: order-independent bag of terms, like a query rewriter.
-        key = tuple(sorted(terms))
+        # Normalize: order-independent bag of terms, like a query
+        # rewriter.  The result depends on top_k as well — a page cached
+        # for top_k=10 must not answer a top_k=20 request.
+        key = (tuple(sorted(terms)), top_k)
         cached = self.cache.get(key)
         if cached is not None:
-            return cached
-        page = self.root.search(list(terms), top_k=top_k)
-        self.cache.put(key, page)
+            if cached.latency_ms is None:
+                return cached
+            return replace(cached, latency_ms=0.0)
+        page = self.root.search(
+            list(terms),
+            top_k=top_k,
+            deadline_ms=deadline_ms,
+            injector=self.injector,
+            policy=self.policy,
+            on_incomplete=on_incomplete,
+        )
+        if page.complete:
+            self.cache.put(key, page)
+        else:
+            self.degraded_served += 1
+        if self.injector is not None and page.latency_ms is not None:
+            # Closed-loop client: simulated time advances as queries finish.
+            self.injector.clock.advance(page.latency_ms)
         return page
 
-    def search_text(self, query: str, top_k: int = 10) -> SearchResultPage:
+    def search_text(
+        self,
+        query: str,
+        top_k: int = 10,
+        deadline_ms: float | None = None,
+    ) -> SearchResultPage:
         """Serve a text query through the tokenizer (needs a vocabulary)."""
         if self.vocabulary is None:
             raise ConfigurationError(
                 "text queries need a vocabulary; use search_terms instead"
             )
         terms = terms_for_query(query, self.vocabulary)
-        return self.search_terms(terms, top_k=top_k)
+        return self.search_terms(terms, top_k=top_k, deadline_ms=deadline_ms)

@@ -16,7 +16,9 @@ per-leaf ``p**(1/N)`` quantile.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -72,6 +74,26 @@ class QueryLatencyModel:
             per_leaf_p, utilization, relative_throughput
         )
 
+    def sample_leaf_ms(
+        self,
+        rng: np.random.Generator,
+        utilization: float = 0.0,
+        relative_throughput: float = 1.0,
+    ) -> float:
+        """Draw one leaf sojourn time from the M/M/1 model.
+
+        This is the stochastic counterpart of :meth:`leaf_quantile_ms` —
+        the fault-injection substrate uses it so simulated per-query
+        latencies and the analytic tail formulas describe the *same*
+        distribution (checkable in tests).
+        """
+        if not 0 <= utilization < 1:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1), got {utilization}"
+            )
+        mean = self.service_ms(relative_throughput) / (1.0 - utilization)
+        return float(rng.exponential(mean))
+
     def mean_query_ms(
         self, utilization: float, relative_throughput: float = 1.0
     ) -> float:
@@ -111,3 +133,72 @@ class QueryLatencyModel:
         """Does the design keep the p-tail within the SLO at this load?"""
         utilization = self.utilization_for_load(offered_load, relative_throughput)
         return self.query_quantile_ms(p, utilization, relative_throughput) <= slo_ms
+
+
+@dataclass
+class LatencyAccumulator:
+    """Collects per-query outcomes from the robust serving path.
+
+    The front end returns :class:`~repro.search.root.SearchResultPage`
+    objects stamped with simulated latency and completeness; feeding them
+    through :meth:`observe` yields the serving-behaviour counterparts of
+    §IV-B's tail-latency check — availability, degraded-result rate, and
+    latency quantiles — comparable against :class:`QueryLatencyModel`'s
+    analytic predictions.
+    """
+
+    latencies_ms: list[float] = field(default_factory=list)
+    complete: int = 0
+    degraded: int = 0
+    #: Queries that returned *no* results at all (every leaf lost).
+    failed: int = 0
+
+    def observe(self, page) -> None:
+        """Record one served page (duck-typed to avoid an import cycle)."""
+        self.latencies_ms.append(
+            0.0 if page.latency_ms is None else float(page.latency_ms)
+        )
+        if page.complete:
+            self.complete += 1
+        elif page.leaves_answered == 0:
+            self.failed += 1
+        else:
+            self.degraded += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queries(self) -> int:
+        return len(self.latencies_ms)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries that returned at least partial results."""
+        if not self.queries:
+            return 1.0
+        return 1.0 - self.failed / self.queries
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of queries served from an incomplete leaf set."""
+        if not self.queries:
+            return 0.0
+        return (self.degraded + self.failed) / self.queries
+
+    def mean_ms(self) -> float:
+        if not self.latencies_ms:
+            raise ConfigurationError("no queries observed yet")
+        return float(np.mean(self.latencies_ms))
+
+    def quantile_ms(self, p: float) -> float:
+        """Empirical p-quantile of observed query latency."""
+        if not 0 < p < 1:
+            raise ConfigurationError(f"p must be in (0, 1), got {p}")
+        if not self.latencies_ms:
+            raise ConfigurationError("no queries observed yet")
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, math.ceil(p * len(ordered)) - 1)
+        return ordered[index]
+
+    def p99_ms(self) -> float:
+        return self.quantile_ms(0.99)

@@ -1,0 +1,72 @@
+"""Retry and hedged-request policies for the aggregation tree.
+
+Aggregators in a deadline-bound serving tree do not simply wait for every
+child: they retry transient failures, hedge slow RPCs with a duplicate
+request, and budget a fixed aggregation overhead per tree level (the
+"tail at scale" playbook).  These policies are plain configuration — the
+mechanics live in :meth:`repro.search.root.RootServer.search` and the
+randomness in :class:`repro.search.faults.FaultInjector`, so a policy
+object stays reusable across runs and trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget for transient leaf failures.
+
+    ``max_attempts`` counts the initial try; ``backoff_ms`` is the pause
+    between attempts (simulated, added to the leaf's completion time).
+    Hard failures are never retried — a fail-stopped leaf cannot answer.
+    """
+
+    max_attempts: int = 2
+    backoff_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_ms < 0:
+            raise ConfigurationError(f"backoff_ms must be >= 0, got {self.backoff_ms}")
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Duplicate a leaf RPC that has not answered after ``after_ms``.
+
+    The hedged pair completes at ``min(first, after_ms + second)`` — the
+    classic tail-cutting trade: a small amount of duplicate work buys a
+    bounded p99.  Only latency is hedged; a transient error on the hedge
+    simply forfeits the hedge.
+    """
+
+    after_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.after_ms <= 0:
+            raise ConfigurationError(f"after_ms must be positive, got {self.after_ms}")
+
+
+@dataclass(frozen=True)
+class ServingPolicy:
+    """Everything an aggregator level needs to know about robustness."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: None disables hedging.
+    hedge: HedgePolicy | None = None
+    #: Fixed merge/network cost added per aggregation level, matching
+    #: :class:`repro.search.latency.QueryLatencyModel.overhead_ms`.
+    overhead_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.overhead_ms < 0:
+            raise ConfigurationError(
+                f"overhead_ms must be >= 0, got {self.overhead_ms}"
+            )

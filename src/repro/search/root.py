@@ -5,31 +5,98 @@ with intermediate parents scoring and ordering content" (Figure 1).  A
 :class:`RootServer` fans a query out to its children — leaves or other
 aggregators — merges the returned hits, and (at the true root) asks the
 owning leaves for snippets of the winning documents.
+
+The fan-out is deadline- and fault-aware.  A query may carry a deadline
+(milliseconds of simulated time, per :mod:`repro._units` convention);
+each aggregation level spends ``policy.overhead_ms`` of that budget and
+passes the rest to its children.  Leaf RPC latencies and failures are
+drawn from an optional :class:`~repro.search.faults.FaultInjector`;
+transient errors are retried and slow calls hedged per the
+:class:`~repro.search.policies.ServingPolicy`.  Leaves that miss the
+deadline or fail outright are simply left out of the merge: the query
+returns a *degraded* :class:`SearchResultPage` (``complete`` False,
+``leaves_answered < leaves_total``) instead of an error — the
+graceful-degradation behaviour real serving trees exhibit under the
+paper's §IV-B latency SLO.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Iterable, Sequence, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    LeafUnavailableError,
+    ServingError,
+)
+from repro.search.faults import FaultInjector
 from repro.search.leaf import LeafServer, SearchHit
+from repro.search.policies import ServingPolicy
 
 
 @dataclass(frozen=True)
 class SearchResultPage:
-    """What the front end renders: ranked hits plus snippets."""
+    """What the front end renders: ranked hits plus snippets.
+
+    ``complete`` is False when some leaves' results are missing (deadline
+    expiry or failure); ``leaves_answered``/``leaves_total`` quantify the
+    damage and ``latency_ms`` is the simulated serving latency (None when
+    the query ran without a latency model).
+    """
 
     terms: tuple[int, ...]
     hits: tuple[SearchHit, ...]
     snippets: tuple[str, ...]
+    complete: bool = True
+    leaves_answered: int = 0
+    leaves_total: int = 0
+    latency_ms: float | None = None
 
     def __post_init__(self) -> None:
         if len(self.hits) != len(self.snippets):
             raise ConfigurationError("hits and snippets must align")
+        if not 0 <= self.leaves_answered <= max(self.leaves_total, 0):
+            raise ConfigurationError(
+                f"leaves_answered {self.leaves_answered} inconsistent with "
+                f"leaves_total {self.leaves_total}"
+            )
 
 
 Child = Union["RootServer", LeafServer]
+
+#: Robustness defaults shared by every aggregator not given a policy.
+_DEFAULT_POLICY = ServingPolicy()
+
+
+def _merge_hits(hits: Iterable[SearchHit], top_k: int) -> list[SearchHit]:
+    """Merge child results: dedupe by document, rank, truncate.
+
+    A document replicated on several shards must appear once, scored by
+    its best replica; ties break on ascending ``doc_id`` so the merged
+    order is deterministic regardless of child arrival order.
+    """
+    best: dict[int, SearchHit] = {}
+    for hit in hits:
+        current = best.get(hit.doc_id)
+        if current is None or hit.score > current.score:
+            best[hit.doc_id] = hit
+    merged = sorted(best.values(), key=lambda h: (-h.score, h.doc_id))
+    return merged[:top_k]
+
+
+@dataclass
+class _SubtreeReply:
+    """One subtree's contribution to a fan-out query."""
+
+    hits: list[SearchHit]
+    answered: int
+    total: int
+    #: When this subtree's merged reply was ready, ms after query start.
+    completion_ms: float
+    missed_deadline: bool
+    answered_leaves: list[LeafServer] = field(default_factory=list)
 
 
 class RootServer:
@@ -52,16 +119,105 @@ class RootServer:
 
     # ------------------------------------------------------------------
 
-    def _collect(self, terms: list[int], top_k: int) -> list[SearchHit]:
-        """Fan out and merge; children each return their local top-k."""
+    def _leaf_reply(
+        self,
+        leaf: LeafServer,
+        terms: list[int],
+        top_k: int,
+        budget_ms: float | None,
+        injector: FaultInjector | None,
+        policy: ServingPolicy,
+    ) -> tuple[list[SearchHit] | None, float, bool]:
+        """One leaf RPC with retries and hedging.
+
+        Returns ``(hits, completion_ms, missed_deadline)``; ``hits`` is
+        None when the leaf never answered (failure or deadline).  The
+        leaf's shard is only scored when its reply would actually arrive
+        in time — lost work is lost.
+        """
+        if injector is None:
+            return leaf.search(terms, top_k=top_k), 0.0, False
+        leaf_id = leaf.shard.shard_id
+        retry = policy.retry
+        elapsed = 0.0
+        for attempt in range(1, retry.max_attempts + 1):
+            try:
+                latency = injector.leaf_latency_ms(leaf_id)
+            except LeafUnavailableError as error:
+                elapsed += error.after_ms
+                if budget_ms is not None and elapsed > budget_ms:
+                    return None, budget_ms, True
+                if not error.transient or attempt == retry.max_attempts:
+                    return None, elapsed, False
+                elapsed += retry.backoff_ms
+                continue
+            if policy.hedge is not None and latency > policy.hedge.after_ms:
+                try:
+                    hedged = injector.leaf_latency_ms(leaf_id)
+                except LeafUnavailableError:
+                    hedged = None  # the hedge itself failed; keep the primary
+                if hedged is not None:
+                    latency = min(latency, policy.hedge.after_ms + hedged)
+            elapsed += latency
+            if budget_ms is not None and elapsed > budget_ms:
+                return None, budget_ms, True
+            return leaf.search(terms, top_k=top_k), elapsed, False
+        return None, elapsed, False
+
+    def _collect(
+        self,
+        terms: list[int],
+        top_k: int,
+        budget_ms: float | None = None,
+        injector: FaultInjector | None = None,
+        policy: ServingPolicy = _DEFAULT_POLICY,
+    ) -> _SubtreeReply:
+        """Fan out and merge; children each return their local top-k.
+
+        ``budget_ms`` is the remaining deadline budget for this subtree;
+        each level keeps ``policy.overhead_ms`` for its own merge and
+        hands the rest down.
+        """
+        child_budget = (
+            None if budget_ms is None else max(0.0, budget_ms - policy.overhead_ms)
+        )
         merged: list[SearchHit] = []
+        answered_leaves: list[LeafServer] = []
+        answered = total = 0
+        completion = 0.0
+        missed = False
         for child in self.children:
             if isinstance(child, LeafServer):
-                merged.extend(child.search(terms, top_k=top_k))
+                total += 1
+                hits, ready_ms, child_missed = self._leaf_reply(
+                    child, terms, top_k, child_budget, injector, policy
+                )
+                if hits is not None:
+                    answered += 1
+                    answered_leaves.append(child)
+                    merged.extend(hits)
             else:
-                merged.extend(child._collect(terms, top_k))
-        merged.sort(key=lambda h: (-h.score, h.doc_id))
-        return merged[:top_k]
+                reply = child._collect(terms, top_k, child_budget, injector, policy)
+                total += reply.total
+                answered += reply.answered
+                answered_leaves.extend(reply.answered_leaves)
+                merged.extend(reply.hits)
+                ready_ms, child_missed = reply.completion_ms, reply.missed_deadline
+            completion = max(completion, ready_ms)
+            missed = missed or child_missed
+        if missed and budget_ms is not None:
+            # A straggler forced this level to wait out its entire budget.
+            completion = budget_ms
+        elif injector is not None:
+            completion += policy.overhead_ms
+        return _SubtreeReply(
+            hits=_merge_hits(merged, top_k),
+            answered=answered,
+            total=total,
+            completion_ms=completion,
+            missed_deadline=missed,
+            answered_leaves=answered_leaves,
+        )
 
     def _leaves(self) -> list[LeafServer]:
         leaves: list[LeafServer] = []
@@ -72,15 +228,50 @@ class RootServer:
                 leaves.extend(child._leaves())
         return leaves
 
-    def search(self, terms: list[int], top_k: int = 10) -> SearchResultPage:
-        """Serve one query through the whole subtree."""
+    def search(
+        self,
+        terms: list[int],
+        top_k: int = 10,
+        deadline_ms: float | None = None,
+        injector: FaultInjector | None = None,
+        policy: ServingPolicy | None = None,
+        on_incomplete: str = "degrade",
+    ) -> SearchResultPage:
+        """Serve one query through the whole subtree.
+
+        Without an injector this is the ideal, zero-latency path (every
+        leaf answers, ``latency_ms`` is None).  With one, leaves may
+        spike, error, or die; ``on_incomplete`` selects between returning
+        a degraded page (``"degrade"``, the default) and raising
+        (``"raise"`` → :class:`DeadlineExceededError` when the deadline
+        expired, :class:`ServingError` when leaves failed outright).
+        """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
+        if on_incomplete not in ("degrade", "raise"):
+            raise ConfigurationError(
+                f"on_incomplete must be 'degrade' or 'raise', got {on_incomplete!r}"
+            )
+        policy = policy or _DEFAULT_POLICY
         self.queries_served += 1
-        hits = self._collect(terms, top_k)
+        reply = self._collect(terms, top_k, deadline_ms, injector, policy)
+        complete = reply.answered == reply.total
+        if not complete and on_incomplete == "raise":
+            if reply.missed_deadline:
+                assert deadline_ms is not None
+                raise DeadlineExceededError(deadline_ms, reply.answered, reply.total)
+            raise ServingError(
+                f"{reply.total - reply.answered} of {reply.total} leaves "
+                "failed and retries were exhausted"
+            )
+        hits = reply.hits
         snippets: list[str] = []
         if self.generate_snippets:
             owner_of = {
                 int(doc): leaf
-                for leaf in self._leaves()
+                for leaf in reply.answered_leaves
                 for doc in leaf.shard.doc_ids.tolist()
             }
             for hit in hits:
@@ -91,6 +282,10 @@ class RootServer:
             terms=tuple(terms),
             hits=tuple(hits),
             snippets=tuple(snippets),
+            complete=complete,
+            leaves_answered=reply.answered,
+            leaves_total=reply.total,
+            latency_ms=None if injector is None else reply.completion_ms,
         )
 
     @classmethod

@@ -79,6 +79,8 @@ class TraceRecorder:
         self._kind: list[np.ndarray] = []
         self._segment: list[np.ndarray] = []
         self._instructions = 0
+        self._total_accesses = 0
+        self._total_instructions = 0
 
     # ------------------------------------------------------------------
 
@@ -98,6 +100,7 @@ class TraceRecorder:
         self._addr.append(lines)
         self._kind.append(np.full(len(lines), int(kind), np.uint8))
         self._segment.append(np.full(len(lines), int(segment), np.uint8))
+        self._total_accesses += len(lines)
 
     def touch_many(
         self,
@@ -111,12 +114,14 @@ class TraceRecorder:
         self._addr.append(np.asarray(addrs, np.int64))
         self._kind.append(np.full(len(addrs), int(kind), np.uint8))
         self._segment.append(np.full(len(addrs), int(segment), np.uint8))
+        self._total_accesses += len(addrs)
 
     def execute(self, instructions: int) -> None:
         """Advance the retired-instruction count."""
         if instructions < 0:
             raise ConfigurationError("instructions must be non-negative")
         self._instructions += instructions
+        self._total_instructions += instructions
 
     @property
     def instructions(self) -> int:
@@ -124,8 +129,22 @@ class TraceRecorder:
 
     @property
     def pending_accesses(self) -> int:
-        """Number of accesses recorded so far."""
+        """Accesses buffered since the last :meth:`reset` (trace drain)."""
         return sum(len(chunk) for chunk in self._addr)
+
+    @property
+    def total_accesses(self) -> int:
+        """Cumulative accesses ever recorded; survives :meth:`reset`.
+
+        Run-level statistics must use this, not :attr:`pending_accesses`,
+        or draining the trace silently zeroes the counters.
+        """
+        return self._total_accesses
+
+    @property
+    def total_instructions(self) -> int:
+        """Cumulative instructions ever executed; survives :meth:`reset`."""
+        return self._total_instructions
 
     # ------------------------------------------------------------------
 

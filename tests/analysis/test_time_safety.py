@@ -1,0 +1,65 @@
+"""Tests for RPR003 (bare time parameters): true positives and negatives."""
+
+from repro.analysis import lint_source
+
+MODULE = "repro.search.fixture"
+
+
+def rules(source, module=MODULE, select=("RPR003",)):
+    return [v.rule for v in lint_source(source, module=module, select=select)]
+
+
+class TestBareTimeParameterBad:
+    def test_positional_parameter(self):
+        assert rules("def serve(deadline):\n    return deadline\n") == ["RPR003"]
+
+    def test_parameter_with_default(self):
+        assert rules("def wait(timeout=5.0):\n    return timeout\n") == ["RPR003"]
+
+    def test_keyword_only_parameter(self):
+        assert rules("def retry(*, backoff=1.0):\n    pass\n") == ["RPR003"]
+
+    def test_method_parameter(self):
+        src = "class Leaf:\n    def answer(self, latency):\n        pass\n"
+        assert rules(src) == ["RPR003"]
+
+    def test_several_flagged_independently(self):
+        src = "def f(deadline, budget, top_k):\n    pass\n"
+        assert rules(src) == ["RPR003", "RPR003"]
+
+    def test_suggestion_names_unit_suffix(self):
+        (violation,) = lint_source(
+            "def f(delay):\n    pass\n", module=MODULE, select=("RPR003",)
+        )
+        assert "delay_ms" in violation.suggestion
+
+
+class TestBareTimeParameterGood:
+    def test_suffixed_parameter(self):
+        assert rules("def serve(deadline_ms):\n    return deadline_ms\n") == []
+
+    def test_non_time_names(self):
+        assert rules("def f(top_k, fanout, capacity):\n    pass\n") == []
+
+    def test_local_variables_exempt(self):
+        # Only signatures are the API boundary; locals may read naturally.
+        assert rules("def f():\n    latency = draw()\n    return latency\n") == []
+
+    def test_compound_names_exempt(self):
+        # Exact-name matching: "deadline_budget" is not in the deny set.
+        assert rules("def f(deadline_budget_ms):\n    pass\n") == []
+
+    def test_noqa_suppression(self):
+        src = "def f(deadline):  # repro: noqa\n    return deadline\n"
+        assert rules(src) == []
+
+
+class TestScope:
+    def test_only_search_modules_checked(self):
+        src = "def f(deadline):\n    pass\n"
+        assert rules(src, module="repro.cachesim.fixture") == []
+        assert rules(src, module="repro.experiments.fixture") == []
+
+    def test_search_subpackages_checked(self):
+        src = "def f(interval):\n    pass\n"
+        assert rules(src, module="repro.search.faults") == ["RPR003"]

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig13,
     fig14,
     power,
+    slo,
     table1,
     table2,
 )
@@ -278,3 +279,41 @@ class TestDiscussion:
         tails = [r["p99_ms"] for r in by_series["tail-latency"]]
         assert tails == sorted(tails, reverse=True)
         assert all(r["within_slo"] for r in by_series["tail-latency"])
+
+
+class TestSlo:
+    def test_serving_robustness_shape(self, preset):
+        result = slo.run(preset)
+        by_series = {}
+        for row in result.rows:
+            by_series.setdefault(row["series"], []).append(row)
+
+        # Degradation and p99 grow monotonically with the fault rate,
+        # while partial aggregation keeps availability high.
+        sweep = by_series["fault-sweep"]
+        degraded = [r["degraded_rate"] for r in sweep]
+        assert degraded == sorted(degraded)
+        assert degraded[0] == 0.0 < degraded[-1]
+        assert [r["p99_ms"] for r in sweep] == sorted(r["p99_ms"] for r in sweep)
+        assert all(r["availability"] > 0.99 for r in sweep)
+
+        # A looser SLO means fewer degraded pages.
+        slo_degraded = [r["degraded_rate"] for r in by_series["slo-sweep"]]
+        assert slo_degraded == sorted(slo_degraded, reverse=True)
+
+        # Hedging buys back deadline misses for bounded extra work.
+        hedged = {r["hedge"]: r for r in by_series["hedging"]}
+        assert (
+            hedged["after 45 ms"]["degraded_rate"] < hedged["off"]["degraded_rate"]
+        )
+        assert 0 < hedged["after 45 ms"]["extra_rpcs_pct"] < 100
+
+        # Leaf deaths degrade results without killing availability.
+        (fail_stop,) = by_series["fail-stop"]
+        assert fail_stop["dead_leaves"] > 0
+        assert fail_stop["availability"] == 1.0
+
+        # The simulated tree agrees with the analytic M/M/1 model.
+        analytic, simulated = by_series["model-check"]
+        assert simulated["mean_ms"] == pytest.approx(analytic["mean_ms"], rel=0.25)
+        assert simulated["p99_ms"] == pytest.approx(analytic["p99_ms"], rel=0.4)

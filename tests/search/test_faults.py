@@ -1,0 +1,129 @@
+"""Tests for the simulated-clock fault-injection substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, LeafUnavailableError
+from repro.search.faults import FaultInjector, FaultSpec, SimulatedClock
+from repro.search.latency import QueryLatencyModel
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimulatedClock()
+        assert clock.now_ms == 0.0
+        assert clock.advance(12.5) == 12.5
+        clock.advance(0.0)
+        assert clock.now_ms == 12.5
+
+    def test_monotonic(self):
+        clock = SimulatedClock(start_ms=5.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedClock(start_ms=-1.0)
+
+
+class TestFaultSpec:
+    def test_defaults_are_healthy(self):
+        spec = FaultSpec()
+        assert spec.latency_spike_rate == 0.0
+        assert spec.transient_error_rate == 0.0
+        assert spec.hard_failure_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_spike_rate": 1.5},
+            {"transient_error_rate": -0.1},
+            {"hard_failure_rate": 2.0},
+            {"spike_multiplier": 0.5},
+            {"hard_fail_detect_ms": -1.0},
+            {"utilization": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(**kwargs)
+
+
+class TestFaultInjector:
+    def model(self):
+        return QueryLatencyModel(base_service_ms=8.0, fanout=4, overhead_ms=2.0)
+
+    def test_deterministic_given_seed(self):
+        a = FaultInjector(FaultSpec(latency_spike_rate=0.3), seed=42)
+        b = FaultInjector(FaultSpec(latency_spike_rate=0.3), seed=42)
+        assert [a.leaf_latency_ms(0) for __ in range(50)] == [
+            b.leaf_latency_ms(0) for __ in range(50)
+        ]
+
+    def test_healthy_draws_match_model_mean(self):
+        spec = FaultSpec(utilization=0.5)
+        injector = FaultInjector(spec, model=self.model(), seed=7)
+        draws = [injector.leaf_latency_ms(0) for __ in range(4000)]
+        # M/M/1 sojourn at rho=0.5: mean 8 / 0.5 = 16 ms.
+        assert np.mean(draws) == pytest.approx(16.0, rel=0.1)
+
+    def test_spikes_multiply_latency(self):
+        calm = FaultInjector(FaultSpec(utilization=0.0), seed=3)
+        spiky = FaultInjector(
+            FaultSpec(latency_spike_rate=1.0, spike_multiplier=6.0, utilization=0.0),
+            seed=3,
+        )
+        # Same seed, same variate consumption: draws are coupled 6x.
+        for __ in range(20):
+            assert spiky.leaf_latency_ms(1) == pytest.approx(
+                6.0 * calm.leaf_latency_ms(1)
+            )
+        assert spiky.spikes == 20
+
+    def test_transient_errors_raise_and_count(self):
+        injector = FaultInjector(FaultSpec(transient_error_rate=1.0), seed=0)
+        with pytest.raises(LeafUnavailableError) as excinfo:
+            injector.leaf_latency_ms(2)
+        assert excinfo.value.transient
+        assert excinfo.value.leaf_id == 2
+        assert excinfo.value.after_ms > 0
+        assert injector.transient_errors == 1
+
+    def test_hard_failure_is_fail_stop(self):
+        injector = FaultInjector(FaultSpec(hard_failure_rate=1.0), seed=0)
+        injector.clock.advance(100.0)
+        with pytest.raises(LeafUnavailableError) as excinfo:
+            injector.leaf_latency_ms(5)
+        assert not excinfo.value.transient
+        assert injector.is_dead(5)
+        assert injector.died_at_ms[5] == 100.0
+        # Dead leaves keep failing even when the dice would be kind.
+        healthy_other = FaultSpec(hard_failure_rate=0.0)
+        injector.spec = healthy_other
+        with pytest.raises(LeafUnavailableError):
+            injector.leaf_latency_ms(5)
+        # ... but other leaves still answer.
+        assert injector.leaf_latency_ms(6) > 0
+
+    def test_revive(self):
+        injector = FaultInjector(FaultSpec(hard_failure_rate=1.0), seed=0)
+        with pytest.raises(LeafUnavailableError):
+            injector.leaf_latency_ms(1)
+        injector.revive(1)
+        injector.spec = FaultSpec()
+        assert injector.leaf_latency_ms(1) > 0
+
+    def test_variate_consumption_is_rate_independent(self):
+        """Runs at different fault rates share one latency stream."""
+        quiet = FaultInjector(FaultSpec(utilization=0.3), seed=9)
+        noisy = FaultInjector(
+            FaultSpec(transient_error_rate=0.5, utilization=0.3), seed=9
+        )
+        quiet_draws, noisy_draws = [], []
+        for __ in range(30):
+            quiet_draws.append(quiet.leaf_latency_ms(0))
+            try:
+                noisy_draws.append(noisy.leaf_latency_ms(0))
+            except LeafUnavailableError as error:
+                noisy_draws.append(error.after_ms)
+        assert noisy_draws == pytest.approx(quiet_draws)

@@ -1,5 +1,6 @@
 """Tests for the per-query latency model."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -54,3 +55,28 @@ class TestQueueing:
             QueryLatencyModel(fanout=0)
         with pytest.raises(ConfigurationError):
             model.service_ms(0.0)
+
+
+class TestSampling:
+    def test_sample_mean_matches_sojourn(self, model):
+        rng = np.random.default_rng(5)
+        draws = [model.sample_leaf_ms(rng, 0.5) for __ in range(4000)]
+        # M/M/1 sojourn mean at rho=0.5: 8 / (1 - 0.5) = 16 ms.
+        assert np.mean(draws) == pytest.approx(16.0, rel=0.1)
+
+    def test_sample_deterministic_given_rng_state(self, model):
+        a = [model.sample_leaf_ms(np.random.default_rng(1), 0.4) for __ in range(5)]
+        b = [model.sample_leaf_ms(np.random.default_rng(1), 0.4) for __ in range(5)]
+        assert a == b
+
+    def test_sample_scales_with_throughput(self, model):
+        slow = model.sample_leaf_ms(np.random.default_rng(2), 0.0, 1.0)
+        fast = model.sample_leaf_ms(np.random.default_rng(2), 0.0, 2.0)
+        assert fast == pytest.approx(slow / 2.0)
+
+    def test_sample_validation(self, model):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            model.sample_leaf_ms(rng, 1.0)
+        with pytest.raises(ConfigurationError):
+            model.sample_leaf_ms(rng, -0.1)

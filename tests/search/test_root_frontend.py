@@ -7,8 +7,8 @@ from repro.search.cluster import SearchCluster
 from repro.search.documents import Corpus, CorpusConfig
 from repro.search.frontend import FrontendServer, ResultCache
 from repro.search.indexer import InvertedIndexBuilder
-from repro.search.leaf import LeafServer
-from repro.search.root import RootServer, SearchResultPage
+from repro.search.leaf import LeafServer, SearchHit
+from repro.search.root import RootServer, SearchResultPage, _merge_hits
 
 
 @pytest.fixture(scope="module")
@@ -75,6 +75,47 @@ class TestRootServer:
             flat.search([term], top_k=8).hits == tree.search([term], top_k=8).hits
         )
 
+    def test_duplicate_doc_ids_merged_once(self, corpus):
+        """Two replicas of the same (unsharded) index: every document is
+        reachable through both children but must appear once per page."""
+        replicas = []
+        for __ in range(2):
+            builder = InvertedIndexBuilder()
+            builder.add_corpus(corpus)
+            replicas.append(LeafServer(builder.build()[0]))
+        root = RootServer(replicas)
+        term = int(corpus[0].terms[0])
+        page = root.search([term], top_k=1000)
+        ids = [h.doc_id for h in page.hits]
+        assert len(ids) == len(set(ids))
+        assert set(ids) == {h.doc_id for h in replicas[0].search([term], top_k=1000)}
+
+    def test_top_k_beyond_total_hits(self, corpus, leaves):
+        root = RootServer(leaves)
+        term = int(corpus[0].terms[0])
+        everything = root.search([term], top_k=10_000).hits
+        assert 0 < len(everything) < 10_000
+        # Asking for even more changes nothing.
+        assert root.search([term], top_k=20_000).hits == everything
+
+    def test_merge_tie_break_is_deterministic(self):
+        hits = [
+            SearchHit(doc_id=7, score=1.0),
+            SearchHit(doc_id=3, score=1.0),
+            SearchHit(doc_id=5, score=2.0),
+            SearchHit(doc_id=3, score=0.5),  # duplicate, worse score
+        ]
+        merged = _merge_hits(hits, top_k=10)
+        assert [(h.doc_id, h.score) for h in merged] == [
+            (5, 2.0),
+            (3, 1.0),  # equal scores break ties by doc_id
+            (7, 1.0),
+        ]
+
+    def test_merge_keeps_best_score_for_duplicate(self):
+        hits = [SearchHit(doc_id=1, score=0.25), SearchHit(doc_id=1, score=4.0)]
+        assert _merge_hits(hits, top_k=5) == [SearchHit(doc_id=1, score=4.0)]
+
     def test_empty_children_rejected(self):
         with pytest.raises(ConfigurationError):
             RootServer([])
@@ -117,7 +158,20 @@ class TestResultCache:
 
     def test_capacity_validated(self):
         with pytest.raises(ConfigurationError):
-            ResultCache(capacity=0)
+            ResultCache(capacity=-1)
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(capacity=0)
+        cache.put((1,), self.page())
+        assert len(cache) == 0
+        assert cache.get((1,)) is None
+        assert cache.evictions == 0
+
+    def test_evictions_counted(self):
+        cache = ResultCache(capacity=1)
+        cache.put((1,), self.page())
+        cache.put((2,), self.page())
+        assert cache.evictions == 1
 
 
 class TestFrontend:
@@ -135,6 +189,21 @@ class TestFrontend:
         t1, t2 = int(corpus[0].terms[0]), int(corpus[1].terms[0])
         frontend.search_terms([t1, t2])
         frontend.search_terms([t2, t1])
+        assert frontend.cache.hits == 1
+
+    def test_cache_key_includes_top_k(self, corpus, leaves):
+        """Regression: a page cached for one top_k must not satisfy a
+        request for another — the old key was the terms alone, so a
+        top_k=3 page could be served for a top_k=10 query."""
+        frontend = FrontendServer(RootServer(leaves))
+        term = int(corpus[0].terms[0])
+        small = frontend.search_terms([term], top_k=3)
+        big = frontend.search_terms([term], top_k=10)
+        assert frontend.cache.hits == 0
+        assert len(small.hits) == 3
+        assert len(big.hits) == 10
+        # Matching (terms, top_k) still hits.
+        frontend.search_terms([term], top_k=3)
         assert frontend.cache.hits == 1
 
     def test_text_queries_need_vocabulary(self, leaves):
@@ -169,6 +238,23 @@ class TestSearchCluster:
         trace = cluster.leaf_trace()
         assert len(trace) == stats.trace_accesses
         assert trace.instruction_count == stats.leaf_instructions
+
+    def test_stats_survive_recorder_reset(self):
+        """Regression: stats() used to read the recorders' pending
+        buffers, so draining traces zeroed the counters."""
+        cluster = SearchCluster.build(
+            corpus_config=CorpusConfig(num_documents=60, vocabulary_size=100, seed=2),
+            num_leaves=2,
+            seed=2,
+        )
+        cluster.serve_terms([[1], [2], [3]])
+        before = cluster.stats()
+        assert before.trace_accesses > 0
+        for recorder in cluster.recorders:
+            recorder.reset()
+        after = cluster.stats()
+        assert after.trace_accesses == before.trace_accesses
+        assert after.leaf_instructions == before.leaf_instructions
 
     def test_trace_requires_recording(self):
         cluster = SearchCluster.build(

@@ -15,6 +15,8 @@ from repro.cachesim.composition import CompositeCache, StreamComponent
 from repro.cachesim.mattson import hit_rate_for_capacities
 from repro.cachesim.misscurve import MissRatioCurve
 from repro.cachesim.opt import simulate_opt
+from repro.search.frontend import ResultCache
+from repro.search.root import SearchResultPage
 
 line_streams = st.lists(
     st.integers(min_value=0, max_value=40), min_size=8, max_size=250
@@ -75,6 +77,40 @@ class TestPolicyOrderings:
             CacheGeometry.fully_associative(16 * 64)
         ).simulate(lines)
         assert (large | ~small).all()  # small-hit implies large-hit
+
+
+cache_ops = st.lists(
+    st.tuples(st.sampled_from(["put", "get"]), st.integers(min_value=0, max_value=8)),
+    max_size=80,
+)
+
+
+class TestResultCacheProperties:
+    @settings(max_examples=100)
+    @given(st.integers(min_value=0, max_value=6), cache_ops)
+    def test_cache_invariants(self, capacity, operations):
+        """The frontend cache never exceeds capacity, counts every
+        lookup, and a capacity of zero stores nothing at all."""
+        cache = ResultCache(capacity=capacity)
+        puts = gets = 0
+        for op, k in operations:
+            key = ((k,), 10)
+            if op == "put":
+                puts += 1
+                page = SearchResultPage(terms=(k,), hits=(), snippets=())
+                cache.put(key, page)
+                if capacity > 0:
+                    gets += 1
+                    assert cache.get(key) is page  # most recent put wins
+            else:
+                gets += 1
+                cache.get(key)
+            assert len(cache) <= capacity
+            if capacity == 0:
+                assert len(cache) == 0
+        assert cache.hits + cache.misses == gets
+        assert cache.evictions <= puts
+        assert 0.0 <= cache.hit_rate <= 1.0
 
 
 class TestCompositionProperties:
