@@ -9,6 +9,7 @@ from __future__ import annotations
 from repro.analysis.checkers import (  # noqa: F401
     api_hygiene,
     determinism,
+    docs_quality,
     experiment_invariants,
     time_safety,
     unit_safety,

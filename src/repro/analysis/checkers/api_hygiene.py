@@ -30,6 +30,7 @@ HYGIENE_SCOPE = (
     "repro.core",
     "repro._units",
     "repro.errors",
+    "repro.obs",
 )
 
 #: Dunder methods whose signatures the runtime fixes anyway.

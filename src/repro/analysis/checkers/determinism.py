@@ -57,6 +57,7 @@ SIMULATION_SCOPE = (
     "repro.workloads",
     "repro.core",
     "repro.cpu",
+    "repro.obs",
 )
 
 #: Module-level functions of ``random`` that use the hidden global RNG.

@@ -34,6 +34,7 @@ from repro.cachesim.composition import (
 from repro.cachesim.hierarchy import HierarchyConfig
 from repro.errors import ConfigurationError
 from repro.memtrace.trace import Segment
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -207,6 +208,36 @@ class ComposedHierarchy:
                 f"segment {segment.name} does not reach {level}"
             )
         return cache.hit_rate(name)
+
+    def record_metrics(self, registry: MetricsRegistry) -> None:
+        """Publish per-level MPKI and hit rates as ``repro.mem.*`` gauges.
+
+        On-demand reporting — the hot solve paths stay uninstrumented;
+        call this after the hierarchy is built (or re-solved) to dump its
+        steady-state behaviour.  Gauges overwrite on repeated calls.
+        """
+        levels = ["L1I", "L1D", "L2"] + (["L3"] if self.l3 is not None else [])
+        mpki = registry.gauge(
+            "repro.mem.cache.mpki",
+            help="Misses per kilo-instruction per cache level (per thread).",
+            unit="mpki",
+        )
+        for level in levels:
+            cache, __ = self._level(level)
+            child = mpki.labels(level=level.lower())
+            child.set(self.mpki(level))
+            hit_gauge = registry.gauge(
+                f"repro.mem.cache.{level.lower()}.hit_rate",
+                help=f"Per-segment hit rate at {level}.",
+                unit="fraction",
+            )
+            for name in sorted(cache.components):
+                hit_gauge.labels(segment=name).set(cache.hit_rate(name))
+        registry.gauge(
+            "repro.mem.cache.threads",
+            help="Hardware threads sharing the composed L3.",
+            unit="threads",
+        ).set(self.threads)
 
     # ------------------------------------------------------------------
     # L3 capacity sweeps and the L4 demand stream

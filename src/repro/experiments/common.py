@@ -10,6 +10,7 @@ from repro.cachesim.hierarchy import HierarchyConfig
 from repro.errors import ConfigurationError
 from repro.memtrace.synthetic import SyntheticWorkload
 from repro.memtrace.trace import Segment
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
 
@@ -74,6 +75,8 @@ class ExperimentResult:
     title: str
     rows: list[dict] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Point-in-time metrics of the run (``--metrics-out`` serializes it).
+    metrics: MetricsSnapshot | None = None
 
     def add(self, **row) -> None:
         """Append one result row."""
@@ -82,6 +85,14 @@ class ExperimentResult:
     def note(self, text: str) -> None:
         """Attach a free-form note (assumption, calibration remark)."""
         self.notes.append(text)
+
+    def attach_metrics(
+        self, source: MetricsRegistry | MetricsSnapshot
+    ) -> None:
+        """Attach the run's metrics (snapshotting a registry if given)."""
+        if isinstance(source, MetricsRegistry):
+            source = source.snapshot()
+        self.metrics = source
 
     def column_names(self) -> list[str]:
         names: list[str] = []

@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro._units import MiB
 from repro.experiments.common import ExperimentResult, RunPreset, composed_run
 from repro.memtrace.trace import Segment
+from repro.obs.metrics import MetricsRegistry
 
 EXPERIMENT_ID = "fig6"
 TITLE = "Cache misses and L3 capacity sweeps by access type"
@@ -79,4 +80,21 @@ def run(preset: RunPreset | None = None) -> ExperimentResult:
         f"combined MPKI 32 MiB -> 1 GiB: {run_.l3_mpki(cap32):.2f} -> "
         f"{run_.l3_mpki(cap1g):.2f} (paper: 3.51 -> 1.37)"
     )
+
+    # On-demand metrics: per-level behaviour plus the paper's checkpoint
+    # capacities (recorded after the sweeps — the hot loops stay clean).
+    registry = MetricsRegistry()
+    run_.record_metrics(registry)
+    checkpoint = registry.gauge(
+        "repro.mem.cache.l3.checkpoint_hit_rate",
+        help="L3 hit rate at the paper's headline capacities.",
+        unit="fraction",
+    )
+    checkpoint.labels(capacity="16mib", segment="code").set(
+        run_.l3_hit_rate(cap16, Segment.CODE)
+    )
+    checkpoint.labels(capacity="1gib", segment="heap").set(
+        run_.l3_hit_rate(cap1g, Segment.HEAP)
+    )
+    result.attach_metrics(registry)
     return result

@@ -15,6 +15,7 @@ from repro._units import MiB
 from repro.core.hitcurve import LogLinearHitCurve
 from repro.core.perf_model import SearchPerfModel
 from repro.experiments.common import ExperimentResult, RunPreset
+from repro.obs.metrics import MetricsRegistry
 
 EXPERIMENT_ID = "fig8"
 TITLE = "IPC vs. L3 hit rate and AMAT (Eq. 1)"
@@ -66,4 +67,26 @@ def run(preset: RunPreset | None = None) -> ExperimentResult:
         "(paper: 53%..73%); IPC span "
         f"{rows[0]['ipc']:.2f}..{rows[-1]['ipc']:.2f} (paper: ~1.20..1.35)"
     )
+
+    # Sweep endpoints and the recovered fit as gauges (the analytic sweep
+    # has no live components to instrument).
+    registry = MetricsRegistry()
+    ipc_gauge = registry.gauge(
+        "repro.mem.cat.ipc",
+        help="Modelled IPC at the CAT sweep endpoints.",
+        unit="ipc",
+    )
+    ipc_gauge.labels(ways=str(rows[0]["ways"])).set(rows[0]["ipc"])
+    ipc_gauge.labels(ways=str(rows[-1]["ways"])).set(rows[-1]["ipc"])
+    registry.gauge(
+        "repro.mem.cat.fit_slope",
+        help="Recovered Eq. 1 slope (IPC per ns of AMAT).",
+        unit="ipc_per_ns",
+    ).set(float(slope))
+    registry.gauge(
+        "repro.mem.cat.fit_intercept",
+        help="Recovered Eq. 1 intercept (IPC at zero AMAT).",
+        unit="ipc",
+    ).set(float(intercept))
+    result.attach_metrics(registry)
     return result

@@ -7,6 +7,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -32,6 +33,7 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.common import ExperimentResult, RunPreset
+from repro.obs.metrics import MetricsRegistry
 
 ALL_MODULES = (
     table1,
@@ -56,17 +58,68 @@ ALL_MODULES = (
 )
 
 
+def _fallback_metrics(result: ExperimentResult, preset: RunPreset) -> None:
+    """Attach a minimal run-shape snapshot to an uninstrumented result.
+
+    Every experiment emitted via ``--metrics-out`` carries *some*
+    snapshot; experiments that drive instrumented components (the
+    serving tree, the composed hierarchy) attach richer ones themselves.
+    """
+    registry = MetricsRegistry()
+    registry.gauge(
+        "repro.experiments.rows",
+        help="Result rows the experiment produced.",
+        unit="rows",
+    ).set(len(result.rows))
+    registry.gauge(
+        "repro.experiments.notes",
+        help="Free-form notes attached to the result.",
+        unit="notes",
+    ).set(len(result.notes))
+    registry.gauge(
+        "repro.experiments.preset_scale",
+        help="Scale divisor of the preset the experiment ran under.",
+        unit="fraction",
+    ).set(preset.scale)
+    result.attach_metrics(registry)
+
+
 def run_all(
     preset: RunPreset | None = None, only: list[str] | None = None
 ) -> list[ExperimentResult]:
-    """Run the selected experiments (all by default)."""
+    """Run the selected experiments (all by default).
+
+    Every returned result carries a metrics snapshot: the experiment's
+    own when it attached one, else a minimal run-shape fallback.
+    """
     preset = preset or RunPreset.quick()
     results = []
     for module in ALL_MODULES:
         if only and module.EXPERIMENT_ID not in only:
             continue
-        results.append(module.run(preset))
+        result = module.run(preset)
+        if result.metrics is None:
+            _fallback_metrics(result, preset)
+        results.append(result)
     return results
+
+
+def write_metrics(results: list[ExperimentResult], path: str) -> None:
+    """Serialize every result's metrics snapshot to one JSON document.
+
+    The document maps experiment id to ``{"title", "metrics"}`` and is
+    what ``python -m repro.obs.report`` renders.
+    """
+    document = {
+        result.experiment_id: {
+            "title": result.title,
+            "metrics": result.metrics.to_dict() if result.metrics else {},
+        }
+        for result in results
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -94,6 +147,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="list experiment ids and exit",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write every experiment's metrics snapshot to a JSON file "
+        "(render with `python -m repro.obs.report PATH`)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -108,7 +167,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment ids: {sorted(unknown)}")
 
     start = time.time()
-    for result in run_all(preset, only=args.ids or None):
+    results = run_all(preset, only=args.ids or None)
+    for result in results:
         print(result.render())
         if args.charts:
             from repro.experiments.charts import render_experiment_charts
@@ -116,6 +176,9 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(render_experiment_charts(result))
         print()
+    if args.metrics_out:
+        write_metrics(results, args.metrics_out)
+        print(f"[metrics snapshot written to {args.metrics_out}]")
     print(f"[{preset.name} preset, {time.time() - start:.1f}s]")
     return 0
 

@@ -241,4 +241,7 @@ def run(preset: RunPreset | None = None) -> ExperimentResult:
     slo_sweep_rows(result, cluster, queries, preset)
     hedging_rows(result, cluster, queries, preset)
     fail_stop_rows(result, cluster, queries, preset)
+    # Cumulative across every sweep configuration (the faulted views all
+    # share the base cluster's registry).
+    result.attach_metrics(cluster.metrics_snapshot())
     return result

@@ -1,0 +1,60 @@
+"""repro.obs — observability: metrics registry, structured tracing, reports.
+
+The measurement substrate of the reproduction.  Components across both
+layers of the codebase — the functional serving tree
+(:mod:`repro.search`) and the memory-side simulators
+(:mod:`repro.memtrace`, :mod:`repro.cachesim`) — publish their counters
+into a :class:`MetricsRegistry` and, when a :class:`Tracer` is supplied,
+emit per-query span trees.  Everything is deterministic (simulated time
+only, sequence-number span ids) and near-free when disabled
+(:data:`NULL_REGISTRY`, :data:`NULL_TRACER`).
+
+Metric naming convention (see ``docs/OBSERVABILITY.md``):
+
+* ``repro.search.*`` — the serving tree (frontend, root, leaf, faults).
+* ``repro.mem.*`` — the memory side (traces, working sets, cache levels).
+
+Quickstart::
+
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.search.cluster import SearchCluster
+
+    metrics = MetricsRegistry()
+    cluster = SearchCluster.build(metrics=metrics)
+    cluster.serve_terms([[1, 2], [3]])
+    print(cluster.metrics_snapshot().to_json(indent=2))
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    log_spaced_bounds,
+)
+from repro.obs.report import render_snapshot
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "log_spaced_bounds",
+    "NULL_REGISTRY",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "NULL_TRACER",
+    "render_snapshot",
+]

@@ -1,0 +1,653 @@
+"""Hierarchical metrics registry: counters, gauges, log-bucketed histograms.
+
+Always-on, low-overhead instrumentation is the substrate hyperscale
+characterization work is built on — the source paper's fleet numbers come
+from continuous profiling, and our reproduction needs the same per-
+component visibility (per-segment MPKI, per-leaf query counts, serving
+outcomes) without perturbing the simulations it measures.  This module is
+the metrics half of :mod:`repro.obs`:
+
+* :class:`Counter` — a monotonic integer total, optionally fanned out into
+  labeled children (``leaf_queries.labels(shard="3")``).
+* :class:`Gauge` — a point-in-time float (working-set bytes, hit rates).
+* :class:`Histogram` — fixed log-spaced buckets with conservative quantile
+  upper bounds; histograms over identical buckets merge exactly.
+* :class:`MetricsRegistry` — the hierarchical namespace (dotted metric
+  names, ``repro.search.leaf.queries``) with :meth:`~MetricsRegistry.snapshot`.
+* :class:`MetricsSnapshot` — an immutable, JSON-serializable view with
+  ``delta`` (progress between two snapshots) and ``merge`` (combine shards
+  of a fleet).
+
+Everything here is deterministic: no wall-clock reads, no ambient RNG.
+All timing enters as explicit durations measured on a
+:class:`~repro.search.faults.SimulatedClock` (milliseconds) — metrics
+record what the simulation computed, never when the host ran it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Sorted tuple of ``(label, value)`` pairs — one child's identity.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    """Canonical child key for a label set.
+
+    Sorted so ``labels(a="1", b="2")`` and ``labels(b="2", a="1")`` address
+    the same child regardless of keyword order (and of ``PYTHONHASHSEED``).
+    """
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: a named instrument with optional labeled children."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "", unit: str = "") -> None:
+        """Create a standalone metric (registries attach them separately).
+
+        ``unit`` documents what one increment or observation means
+        (``"queries"``, ``"bytes"``, ``"ms"``); it is carried into
+        snapshots so reports can render it.
+        """
+        if not name:
+            raise ConfigurationError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self._children: dict[LabelKey, Metric] = {}
+
+    def labels(self, **labels: str) -> "Metric":
+        """Get or create the child metric for one label set.
+
+        Children share the parent's name and unit; a child cannot be
+        labeled further.
+        """
+        if not labels:
+            raise ConfigurationError("labels() needs at least one label")
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = type(self)(self.name, help=self.help, unit=self.unit)
+            child._children = None  # type: ignore[assignment] -- leaf marker
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterator[tuple[LabelKey, "Metric"]]:
+        """Labeled children in deterministic (sorted-key) order."""
+        if not self._children:
+            return iter(())
+        return iter(sorted(self._children.items()))
+
+    def _ensure_parent(self) -> None:
+        if self._children is None:
+            raise ConfigurationError(
+                f"metric {self.name!r} child cannot be labeled further"
+            )
+
+
+class Counter(Metric):
+    """A monotonically increasing integer total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", unit: str = "") -> None:
+        """Create a counter starting at zero."""
+        super().__init__(name, help=help, unit=unit)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Own count plus every labeled child's count."""
+        total = self._value
+        if self._children:
+            total += sum(child.value for __, child in self.children())
+        return total
+
+    def labels(self, **labels: str) -> "Counter":
+        """Child counter for one label set (see :meth:`Metric.labels`)."""
+        self._ensure_parent()
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def snapshot_payload(self) -> dict:
+        """JSON-ready state: total plus per-child values when labeled."""
+        payload: dict = {
+            "type": self.kind,
+            "unit": self.unit,
+            "value": self.value,
+        }
+        if self._children:
+            payload["children"] = {
+                _render_label_key(key): child.value
+                for key, child in self.children()
+            }
+        return payload
+
+
+class Gauge(Metric):
+    """A float that can move both ways (sizes, rates, temperatures)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", unit: str = "") -> None:
+        """Create a gauge starting at 0.0."""
+        super().__init__(name, help=help, unit=unit)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Move the gauge by ``delta`` (either sign)."""
+        self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        """Current value (labeled children are reported separately)."""
+        return self._value
+
+    def labels(self, **labels: str) -> "Gauge":
+        """Child gauge for one label set (see :meth:`Metric.labels`)."""
+        self._ensure_parent()
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def snapshot_payload(self) -> dict:
+        """JSON-ready state: value plus per-child values when labeled."""
+        payload: dict = {
+            "type": self.kind,
+            "unit": self.unit,
+            "value": self.value,
+        }
+        if self._children:
+            payload["children"] = {
+                _render_label_key(key): child.value
+                for key, child in self.children()
+            }
+        return payload
+
+
+def log_spaced_bounds(
+    lo: float = 0.001, hi: float = 1e6, per_decade: int = 4
+) -> tuple[float, ...]:
+    """Fixed log-spaced bucket upper bounds from ``lo`` to beyond ``hi``.
+
+    Units: ``lo`` and ``hi`` are in whatever unit the histogram observes
+    (the histogram's ``unit`` field names it); the bounds are dimensionless
+    multiples of that unit.
+
+    Buckets grow by a constant factor ``10 ** (1 / per_decade)``, so
+    relative quantile error is bounded by one factor everywhere in the
+    range.  Observations above the last bound land in an implicit
+    overflow bucket.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ConfigurationError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if per_decade < 1:
+        raise ConfigurationError(f"per_decade must be >= 1, got {per_decade}")
+    factor = 10.0 ** (1.0 / per_decade)
+    bounds = [lo]
+    while bounds[-1] < hi:
+        bounds.append(bounds[-1] * factor)
+    return tuple(bounds)
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with conservative quantiles and exact merge.
+
+    The bucket upper bounds are fixed at construction (log-spaced by
+    default), which is what makes :meth:`merge` exact and associative:
+    merging is element-wise addition of bucket counts.  Quantiles are
+    *upper bounds* — :meth:`quantile` returns the upper edge of the bucket
+    the true quantile falls in (or the observed maximum for the overflow
+    bucket), so SLO-style checks err on the safe side.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        bounds: tuple[float, ...] | None = None,
+    ) -> None:
+        """Create an empty histogram over ``bounds`` (log-spaced default).
+
+        Units: ``bounds`` are bucket upper edges in the histogram's own
+        ``unit`` (e.g. ms for latency histograms).
+        """
+        super().__init__(name, help=help, unit=unit)
+        bounds = bounds if bounds is not None else log_spaced_bounds()
+        if len(bounds) < 1:
+            raise ConfigurationError("histogram needs at least one bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram bounds must be strictly increasing: {bounds}"
+            )
+        self.bounds = tuple(float(b) for b in bounds)
+        #: One count per bound, plus the final overflow bucket.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def labels(self, **labels: str) -> "Histogram":
+        """Child histogram (same bounds) for one label set."""
+        self._ensure_parent()
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = Histogram(
+                self.name, help=self.help, unit=self.unit, bounds=self.bounds
+            )
+            child._children = None  # type: ignore[assignment]
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        """Record one observation.
+
+        Units: ``value`` is in the histogram's own ``unit`` (the registry
+        convention is ms for durations and bytes for sizes).
+        """
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, p: float) -> float:
+        """Upper bound on the p-quantile of everything observed.
+
+        Returns the upper edge of the bucket holding the ``ceil(p*count)``-th
+        smallest observation; for the overflow bucket (values above the
+        last bound) the observed maximum is returned, which is still an
+        upper bound.  Raises when nothing has been observed.
+        """
+        if not 0 < p < 1:
+            raise ConfigurationError(f"p must be in (0, 1), got {p}")
+        if self.count == 0:
+            raise ConfigurationError(
+                f"histogram {self.name!r} has no observations"
+            )
+        target = math.ceil(p * self.count)
+        seen = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max  # unreachable; counts always sum to self.count
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of everything observed (sum / count)."""
+        if self.count == 0:
+            raise ConfigurationError(
+                f"histogram {self.name!r} has no observations"
+            )
+        return self.sum / self.count
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding both operands' observations.
+
+        Exact (bucket-wise addition) and associative; both histograms must
+        share identical bucket bounds.
+        """
+        if self.bounds != other.bounds:
+            raise ConfigurationError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.name!r} vs {other.name!r}"
+            )
+        merged = Histogram(
+            self.name, help=self.help, unit=self.unit, bounds=self.bounds
+        )
+        merged.bucket_counts = [
+            a + b for a, b in zip(self.bucket_counts, other.bucket_counts)
+        ]
+        merged.count = self.count + other.count
+        merged.sum = self.sum + other.sum
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    def snapshot_payload(self) -> dict:
+        """JSON-ready state: bounds, bucket counts, count/sum/min/max."""
+        payload = {
+            "type": self.kind,
+            "unit": self.unit,
+            "count": self.count,
+            "sum": self.sum,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+        if self.count:
+            payload["min"] = self.min
+            payload["max"] = self.max
+        return payload
+
+
+class _NullCounter(Counter):
+    """Counter that records nothing — the disabled registry's fast path."""
+
+    def inc(self, amount: int = 1) -> None:
+        """Discard the increment."""
+
+    def labels(self, **labels: str) -> "Counter":
+        """Return self: children of a null counter are the null counter."""
+        return self
+
+
+class _NullGauge(Gauge):
+    """Gauge that records nothing."""
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+    def add(self, delta: float) -> None:
+        """Discard the delta."""
+
+    def labels(self, **labels: str) -> "Gauge":
+        """Return self: children of a null gauge are the null gauge."""
+        return self
+
+
+class _NullHistogram(Histogram):
+    """Histogram that records nothing."""
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+    def labels(self, **labels: str) -> "Histogram":
+        """Return self: children of a null histogram are itself."""
+        return self
+
+
+class MetricsRegistry:
+    """A hierarchical namespace of metrics with snapshot support.
+
+    Metric names are dotted paths (``repro.search.leaf.queries``); the
+    registry is flat storage with hierarchical *naming*, so snapshots can
+    be filtered by prefix.  ``enabled=False`` turns the registry into a
+    null sink: every ``counter()``/``gauge()``/``histogram()`` call
+    returns a shared no-op instrument and ``snapshot()`` is empty — the
+    documented way to run instrumented code at zero measurable cost.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        """Create an empty registry; see class docstring for ``enabled``."""
+        self.enabled = enabled
+        self._metrics: dict[str, Metric] = {}
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    # -- creation ------------------------------------------------------
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, unit: str, **kwargs
+    ) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or type(existing) is not cls:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help=help, unit=unit, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
+        """Get or create the counter ``name`` (idempotent)."""
+        if not self.enabled:
+            return self._null_counter
+        return self._get_or_create(Counter, name, help, unit)
+
+    def gauge(self, name: str, help: str = "", unit: str = "") -> Gauge:
+        """Get or create the gauge ``name`` (idempotent)."""
+        if not self.enabled:
+            return self._null_gauge
+        return self._get_or_create(Gauge, name, help, unit)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        bounds: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (idempotent).
+
+        Units: ``bounds`` are bucket upper edges in the histogram's
+        ``unit``; when omitted the shared log-spaced default is used.
+        """
+        if not self.enabled:
+            return self._null_histogram
+        metric = self._get_or_create(Histogram, name, help, unit, bounds=bounds)
+        return metric  # type: ignore[return-value]
+
+    def register(self, metric: Metric, replace: bool = False) -> Metric:
+        """Attach an externally constructed metric under its own name.
+
+        With ``replace=True`` an existing metric of the same name is
+        superseded — the idiom for components that are rebuilt mid-run
+        (e.g. a fresh front end from ``SearchCluster.with_faults``): the
+        snapshot then reflects the *current* topology, while the replaced
+        instance keeps its counts for whoever still holds it.
+        """
+        if not self.enabled:
+            return metric
+        existing = self._metrics.get(metric.name)
+        if existing is not None and existing is not metric and not replace:
+            raise ConfigurationError(
+                f"metric {metric.name!r} already registered; "
+                "pass replace=True to supersede it"
+            )
+        self._metrics[metric.name] = metric
+        return metric
+
+    # -- access --------------------------------------------------------
+
+    def get(self, name: str) -> Metric | None:
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered metric."""
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self, prefix: str = "") -> "MetricsSnapshot":
+        """An immutable, JSON-ready view of current values.
+
+        ``prefix`` filters hierarchically: ``"repro.search"`` matches
+        ``repro.search`` itself and anything nested under it.
+        """
+        payload = {
+            name: metric.snapshot_payload()  # type: ignore[attr-defined]
+            for name, metric in sorted(self._metrics.items())
+            if not prefix
+            or name == prefix
+            or name.startswith(prefix + ".")
+        }
+        return MetricsSnapshot(payload)
+
+
+#: Shared disabled registry — hand this to components to switch their
+#: instrumentation off entirely.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def _render_label_key(key: LabelKey) -> str:
+    """``{a=1,b=2}``-style rendering of a child's label set."""
+    return "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+class MetricsSnapshot:
+    """Frozen name → payload mapping produced by ``MetricsRegistry.snapshot``.
+
+    Payloads are plain JSON types.  Two snapshot algebra operations cover
+    the common workflows: :meth:`delta` (what happened between two
+    snapshots of one registry) and :meth:`merge` (combine snapshots of
+    sibling registries, e.g. per-shard or per-process).
+    """
+
+    def __init__(self, payload: Mapping[str, dict]) -> None:
+        """Wrap a payload mapping (not copied; treat as frozen)."""
+        self._payload = dict(payload)
+
+    # -- mapping surface ----------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        """True when a metric of that exact name is in the snapshot."""
+        return name in self._payload
+
+    def __len__(self) -> int:
+        return len(self._payload)
+
+    def names(self) -> list[str]:
+        """Sorted metric names in this snapshot."""
+        return sorted(self._payload)
+
+    def payload(self, name: str) -> dict:
+        """The full payload dict of one metric (raises on unknown name)."""
+        try:
+            return self._payload[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"snapshot has no metric {name!r}"
+            ) from None
+
+    def value(self, name: str) -> float:
+        """The scalar value of a counter/gauge (raises for histograms)."""
+        payload = self.payload(name)
+        if "value" not in payload:
+            raise ConfigurationError(
+                f"metric {name!r} is a {payload.get('type')}; "
+                "read its payload instead"
+            )
+        return payload["value"]
+
+    def to_dict(self) -> dict:
+        """Deep-copyable plain dict (the JSON document)."""
+        return json.loads(self.to_json())
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self._payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        """Rebuild a snapshot from :meth:`to_json` output."""
+        return cls(json.loads(text))
+
+    # -- algebra -------------------------------------------------------
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened since ``earlier``: counters and histogram counts
+        subtract; gauges keep their current value (a gauge has no rate).
+
+        Metrics absent from ``earlier`` pass through unchanged.
+        """
+        out: dict[str, dict] = {}
+        for name, payload in self._payload.items():
+            before = earlier._payload.get(name)
+            if before is None or before.get("type") != payload.get("type"):
+                out[name] = payload
+                continue
+            kind = payload.get("type")
+            if kind == "counter":
+                merged = dict(payload)
+                merged["value"] = payload["value"] - before["value"]
+                if "children" in payload:
+                    merged["children"] = {
+                        key: value - before.get("children", {}).get(key, 0)
+                        for key, value in payload["children"].items()
+                    }
+                out[name] = merged
+            elif kind == "histogram":
+                merged = dict(payload)
+                merged["count"] = payload["count"] - before["count"]
+                merged["sum"] = payload["sum"] - before["sum"]
+                merged["bucket_counts"] = [
+                    a - b
+                    for a, b in zip(
+                        payload["bucket_counts"], before["bucket_counts"]
+                    )
+                ]
+                out[name] = merged
+            else:  # gauges: current value is the statement
+                out[name] = payload
+        return MetricsSnapshot(out)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two sibling snapshots into one.
+
+        Counters and histogram buckets add; for gauges ``other`` wins
+        (documented, deterministic).  Metrics present in only one operand
+        pass through.
+        """
+        out: dict[str, dict] = dict(self._payload)
+        for name, payload in other._payload.items():
+            mine = out.get(name)
+            if mine is None or mine.get("type") != payload.get("type"):
+                out[name] = payload
+                continue
+            kind = payload.get("type")
+            if kind == "counter":
+                merged = dict(payload)
+                merged["value"] = mine["value"] + payload["value"]
+                if "children" in mine or "children" in payload:
+                    children = dict(mine.get("children", {}))
+                    for key, value in payload.get("children", {}).items():
+                        children[key] = children.get(key, 0) + value
+                    merged["children"] = children
+                out[name] = merged
+            elif kind == "histogram" and mine.get("bounds") == payload.get(
+                "bounds"
+            ):
+                merged = dict(payload)
+                merged["count"] = mine["count"] + payload["count"]
+                merged["sum"] = mine["sum"] + payload["sum"]
+                merged["bucket_counts"] = [
+                    a + b
+                    for a, b in zip(
+                        mine["bucket_counts"], payload["bucket_counts"]
+                    )
+                ]
+                if mine.get("count") and payload.get("count"):
+                    merged["min"] = min(mine["min"], payload["min"])
+                    merged["max"] = max(mine["max"], payload["max"])
+                elif mine.get("count"):
+                    merged["min"], merged["max"] = mine["min"], mine["max"]
+                out[name] = merged
+            else:
+                out[name] = payload
+        return MetricsSnapshot(out)

@@ -1,0 +1,195 @@
+"""Render metrics snapshots as text tables: ``python -m repro.obs.report``.
+
+Accepts either a bare :class:`~repro.obs.metrics.MetricsSnapshot` JSON
+document (what ``MetricsRegistry.snapshot().to_json()`` writes) or the
+multi-experiment file produced by ``repro-experiments --metrics-out``
+(a JSON object mapping experiment ids to snapshot documents).
+
+Examples::
+
+    repro-experiments --metrics-out metrics.json slo
+    python -m repro.obs.report metrics.json
+    python -m repro.obs.report metrics.json --prefix repro.search.leaf
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.metrics import MetricsSnapshot
+
+#: Quantiles rendered for histogram rows.
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _looks_like_snapshot(document: dict) -> bool:
+    """True when every value is a metric payload (has a ``type`` key)."""
+    return bool(document) and all(
+        isinstance(payload, dict) and "type" in payload
+        for payload in document.values()
+    )
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.4g}"
+
+
+def _snapshot_rows(snapshot: MetricsSnapshot, prefix: str) -> list[dict]:
+    rows: list[dict] = []
+    for name in snapshot.names():
+        if prefix and not (name == prefix or name.startswith(prefix + ".")):
+            continue
+        payload = snapshot.payload(name)
+        kind = payload.get("type", "?")
+        unit = payload.get("unit", "")
+        if kind == "histogram":
+            count = payload.get("count", 0)
+            detail = f"count={count}"
+            if count:
+                detail += (
+                    f" mean={_format_number(payload['sum'] / count)}"
+                    f" min={_format_number(payload['min'])}"
+                    f" max={_format_number(payload['max'])}"
+                )
+                detail += " " + _histogram_quantiles(payload)
+            rows.append({"metric": name, "type": kind, "unit": unit, "value": detail})
+            continue
+        rows.append(
+            {
+                "metric": name,
+                "type": kind,
+                "unit": unit,
+                "value": _format_number(payload.get("value", 0)),
+            }
+        )
+        for key, value in sorted(payload.get("children", {}).items()):
+            rows.append(
+                {
+                    "metric": f"  {key}",
+                    "type": "",
+                    "unit": "",
+                    "value": _format_number(value),
+                }
+            )
+    return rows
+
+
+def _histogram_quantiles(payload: dict) -> str:
+    """Conservative quantile upper bounds recovered from bucket counts."""
+    bounds = payload["bounds"]
+    buckets = payload["bucket_counts"]
+    count = payload["count"]
+    parts = []
+    for p in _QUANTILES:
+        target = -(-int(p * count * 1_000_000) // 1_000_000)  # ceil, int math
+        target = max(1, target)
+        seen = 0
+        estimate = payload.get("max", 0.0)
+        for index, bucket in enumerate(buckets):
+            seen += bucket
+            if seen >= target:
+                estimate = (
+                    bounds[index] if index < len(bounds) else payload["max"]
+                )
+                break
+        parts.append(f"p{int(p * 100)}<={_format_number(estimate)}")
+    return " ".join(parts)
+
+
+def _render_table(rows: list[dict], title: str | None = None) -> str:
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    if not rows:
+        lines.append("(no metrics)")
+        return "\n".join(lines)
+    columns = ("metric", "type", "unit", "value")
+    widths = {
+        column: max(len(column), *(len(str(row[column])) for row in rows))
+        for column in columns
+    }
+    lines.append("  ".join(column.ljust(widths[column]) for column in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[column]).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_snapshot(
+    snapshot: MetricsSnapshot, prefix: str = "", title: str | None = None
+) -> str:
+    """One fixed-width table of every metric in the snapshot."""
+    return _render_table(_snapshot_rows(snapshot, prefix), title)
+
+
+def render_document(document: dict, prefix: str = "") -> str:
+    """Render either a bare snapshot or a per-experiment metrics file."""
+    if _looks_like_snapshot(document):
+        return render_snapshot(MetricsSnapshot(document), prefix)
+    sections = []
+    for key in sorted(document):
+        value = document[key]
+        if isinstance(value, dict) and _looks_like_snapshot(value):
+            sections.append(
+                render_snapshot(MetricsSnapshot(value), prefix, title=key)
+            )
+        elif isinstance(value, dict):
+            # runner-level entry: {"rows": ..., "metrics": {...}} etc.
+            inner = value.get("metrics")
+            if isinstance(inner, dict) and _looks_like_snapshot(inner):
+                sections.append(
+                    render_snapshot(MetricsSnapshot(inner), prefix, title=key)
+                )
+            else:
+                sections.append(f"== {key} ==\n(no metrics)")
+    return "\n\n".join(sections) if sections else "(no metrics)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a metrics snapshot (JSON) as a text table.",
+    )
+    parser.add_argument(
+        "path",
+        help="snapshot JSON file, or '-' to read stdin",
+    )
+    parser.add_argument(
+        "--prefix",
+        default="",
+        help="only show metrics under this dotted prefix "
+        "(e.g. repro.search.leaf)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        path = Path(args.path)
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        text = path.read_text(encoding="utf-8")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"error: not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(document, dict):
+        print("error: expected a JSON object", file=sys.stderr)
+        return 2
+    print(render_document(document, prefix=args.prefix))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

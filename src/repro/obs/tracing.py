@@ -1,0 +1,254 @@
+"""Structured tracing for the serving tree: spans, ring buffer, JSONL.
+
+A query entering the front end opens a root span; the aggregation levels
+and leaf RPCs underneath it open child spans carrying the timings the
+serving path computes anyway (queue/sojourn draws, retry backoffs, hedge
+decisions) and tags (cache hit/miss, completeness, leaf ids).  Because
+all time in the serving tree is *simulated* (a
+:class:`~repro.search.faults.SimulatedClock`, milliseconds), spans record
+model time, never host time — traces are bit-identical across runs of
+the same seed and are safe to diff in tests.
+
+Design constraints, in order:
+
+1. **Near-zero cost when off.**  :class:`NullTracer` is the default
+   everywhere; hot paths guard on ``tracer.enabled`` before building
+   tags, and the benchmark suite (``benchmarks/bench_obs.py``) pins the
+   overhead.
+2. **Bounded memory.**  Finished spans land in a ring buffer
+   (``collections.deque(maxlen=...)``): FIFO eviction, never grows.
+3. **Deterministic ids.**  Span/trace ids are sequence numbers, not
+   random — two runs of one seed produce byte-identical JSONL exports.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """What propagates down the tree: which trace, which parent span."""
+
+    trace_id: int
+    span_id: int
+
+
+@dataclass
+class Span:
+    """One finished span: a named, tagged interval of simulated time.
+
+    Units: ``start_ms`` and ``duration_ms`` are milliseconds of simulated
+    time (the serving tree's clock), per :mod:`repro._units` convention.
+    """
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    start_ms: float
+    duration_ms: float
+    tags: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (the JSONL line, minus the newline)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ms": self.start_ms,
+            "duration_ms": self.duration_ms,
+            "tags": self.tags,
+        }
+
+
+class ActiveSpan:
+    """A span being recorded; finish it to commit it to the tracer."""
+
+    __slots__ = ("_tracer", "_span", "context")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        """Internal: created by :meth:`Tracer.start_span`."""
+        self._tracer = tracer
+        self._span = span
+        self.context = SpanContext(span.trace_id, span.span_id)
+
+    def tag(self, **tags: object) -> "ActiveSpan":
+        """Attach key/value tags; returns self for chaining."""
+        self._span.tags.update(tags)
+        return self
+
+    def finish(self, duration_ms: float) -> Span:
+        """Commit the span with its simulated duration.
+
+        Units: ``duration_ms`` is milliseconds of simulated time.
+        """
+        if duration_ms < 0:
+            raise ConfigurationError(
+                f"span duration cannot be negative: {duration_ms}"
+            )
+        self._span.duration_ms = float(duration_ms)
+        self._tracer._commit(self._span)
+        return self._span
+
+
+class Tracer:
+    """Collects finished spans in a bounded FIFO ring buffer."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096) -> None:
+        """Create a tracer retaining at most ``capacity`` finished spans.
+
+        When the buffer is full the oldest span is evicted first (FIFO);
+        ``dropped_spans`` counts evictions so exporters can report
+        truncation instead of silently under-reporting.
+        """
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self._next_id = 1
+        self.started_spans = 0
+        self.finished_spans = 0
+        self.dropped_spans = 0
+
+    # ------------------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        parent: SpanContext | None = None,
+        start_ms: float = 0.0,
+    ) -> ActiveSpan:
+        """Open a span; with no parent it starts a new trace.
+
+        Units: ``start_ms`` is the simulated-clock reading (milliseconds)
+        when the span began; pass 0.0 when the caller runs without a
+        clock (the ideal, zero-latency serving path).
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        self.started_spans += 1
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent is not None else span_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start_ms=float(start_ms),
+            duration_ms=0.0,
+        )
+        return ActiveSpan(self, span)
+
+    def _commit(self, span: Span) -> None:
+        if len(self._ring) == self.capacity:
+            self.dropped_spans += 1
+        self._ring.append(span)
+        self.finished_spans += 1
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def spans(self) -> list[Span]:
+        """Retained spans, oldest first (eviction order)."""
+        return list(self._ring)
+
+    def drain(self) -> list[Span]:
+        """Return retained spans and clear the buffer.
+
+        Cumulative counters (``finished_spans``, ``dropped_spans``)
+        survive the drain — run-level accounting must not reset when a
+        buffer is flushed to disk.
+        """
+        spans = list(self._ring)
+        self._ring.clear()
+        return spans
+
+    def export_jsonl(self, target: str | Path | IO[str]) -> int:
+        """Write retained spans as JSON Lines; returns the span count.
+
+        ``target`` is a path (written atomically enough for our purposes:
+        truncate + write) or an open text file object.  The buffer is not
+        drained — export is a read.
+        """
+        spans = self.spans()
+        if hasattr(target, "write"):
+            _write_jsonl(target, spans)  # type: ignore[arg-type]
+        else:
+            with open(target, "w", encoding="utf-8") as handle:
+                _write_jsonl(handle, spans)
+        return len(spans)
+
+
+def _write_jsonl(handle: IO[str], spans: Iterable[Span]) -> None:
+    for span in spans:
+        handle.write(json.dumps(span.to_dict(), sort_keys=True))
+        handle.write("\n")
+
+
+class _NullActiveSpan(ActiveSpan):
+    """The shared no-op active span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        """Build the singleton; context is the all-zero span."""
+        self.context = SpanContext(0, 0)
+
+    def tag(self, **tags: object) -> "ActiveSpan":
+        """Discard tags."""
+        return self
+
+    def finish(self, duration_ms: float) -> Span:
+        """Discard the span.
+
+        Units: ``duration_ms`` is milliseconds of simulated time
+        (ignored).
+        """
+        return _NULL_SPAN
+
+
+_NULL_SPAN = Span(
+    name="", trace_id=0, span_id=0, parent_id=None, start_ms=0.0, duration_ms=0.0
+)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — the default in every hot path.
+
+    ``enabled`` is False so instrumented code can skip tag construction
+    entirely; all recording methods are no-ops.  One shared instance
+    (:data:`NULL_TRACER`) serves the whole process.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        """Build a no-op tracer (capacity 1, never used)."""
+        super().__init__(capacity=1)
+        self._null_active = _NullActiveSpan()
+
+    def start_span(
+        self,
+        name: str,
+        parent: SpanContext | None = None,
+        start_ms: float = 0.0,
+    ) -> ActiveSpan:
+        """Return the shared no-op span.
+
+        Units: ``start_ms`` is milliseconds of simulated time (ignored).
+        """
+        return self._null_active
+
+
+#: Shared process-wide null tracer.
+NULL_TRACER = NullTracer()

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.memtrace.interleave import interleave_round_robin
 from repro.memtrace.trace import Trace
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.tracing import Tracer
 from repro.search.documents import Corpus, CorpusConfig
 from repro.search.faults import FaultInjector, FaultSpec
 from repro.search.frontend import FrontendServer, ResultCache
@@ -55,6 +57,7 @@ class SearchCluster:
         frontend: FrontendServer,
         recorders: list[TraceRecorder],
         memory: SimulatedMemory,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not leaves:
             raise ConfigurationError("cluster needs at least one leaf")
@@ -63,6 +66,9 @@ class SearchCluster:
         self.frontend = frontend
         self.recorders = recorders
         self.memory = memory
+        #: The cluster-wide registry every component publishes into
+        #: (a private one when the caller did not supply any).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------
 
@@ -75,10 +81,18 @@ class SearchCluster:
         result_cache_capacity: int = 2048,
         record_traces: bool = True,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> "SearchCluster":
-        """Construct the full Figure 1 stack over a fresh synthetic corpus."""
+        """Construct the full Figure 1 stack over a fresh synthetic corpus.
+
+        Every component publishes into one shared ``metrics`` registry (a
+        private one is created when none is given — ``metrics_snapshot``
+        always works); pass a ``tracer`` to record per-query span trees.
+        """
         if num_leaves < 1:
             raise ConfigurationError(f"num_leaves must be >= 1, got {num_leaves}")
+        registry = metrics if metrics is not None else MetricsRegistry()
         corpus = Corpus(corpus_config or CorpusConfig(seed=seed))
         builder = InvertedIndexBuilder(num_shards=num_leaves)
         builder.add_corpus(corpus)
@@ -86,7 +100,7 @@ class SearchCluster:
         shards = builder.build(memory=memory, seed=seed)
 
         recorders = [
-            TraceRecorder(thread_id=i) if record_traces else None
+            TraceRecorder(thread_id=i, metrics=registry) if record_traces else None
             for i in range(num_leaves)
         ]
         leaves = [
@@ -95,14 +109,17 @@ class SearchCluster:
                 memory=memory,
                 recorder=recorders[i],
                 seed=seed + i,
+                metrics=registry,
             )
             for i, shard in enumerate(shards)
         ]
-        root = RootServer.build_tree(leaves, fanout=fanout)
+        root = RootServer.build_tree(leaves, fanout=fanout, metrics=registry)
         frontend = FrontendServer(
             root,
             vocabulary=corpus.vocabulary,
-            cache=ResultCache(result_cache_capacity),
+            cache=ResultCache(result_cache_capacity, metrics=registry),
+            metrics=registry,
+            tracer=tracer,
         )
         return cls(
             corpus=corpus,
@@ -110,6 +127,7 @@ class SearchCluster:
             frontend=frontend,
             recorders=[r for r in recorders if r is not None],
             memory=memory,
+            metrics=registry,
         )
 
     # ------------------------------------------------------------------
@@ -151,6 +169,14 @@ class SearchCluster:
             trace_accesses=sum(r.total_accesses for r in self.recorders),
         )
 
+    def metrics_snapshot(self, prefix: str = "") -> MetricsSnapshot:
+        """A point-in-time view of every registered metric.
+
+        ``prefix`` filters hierarchically (e.g. ``"repro.search.leaf"``);
+        see :meth:`repro.obs.metrics.MetricsRegistry.snapshot`.
+        """
+        return self.metrics.snapshot(prefix=prefix)
+
     # ------------------------------------------------------------------
     # Robust serving
     # ------------------------------------------------------------------
@@ -162,6 +188,7 @@ class SearchCluster:
         latency_model: QueryLatencyModel | None = None,
         result_cache_capacity: int = 0,
         seed: int = 0,
+        tracer: Tracer | None = None,
     ) -> "SearchCluster":
         """A view of this cluster serving through a fault injector.
 
@@ -169,13 +196,20 @@ class SearchCluster:
         swaps in a fresh front end — new result cache, new injector, new
         simulated clock — so fault configurations can be swept without
         rebuilding the index and without cross-contaminating caches.
+        The fresh components re-register into the shared registry
+        (``replace=True``), so snapshots follow the active view while the
+        superseded front end keeps its own counts.
         """
         frontend = FrontendServer(
             self.frontend.root,
             vocabulary=self.corpus.vocabulary,
-            cache=ResultCache(result_cache_capacity),
-            injector=FaultInjector(spec, model=latency_model, seed=seed),
+            cache=ResultCache(result_cache_capacity, metrics=self.metrics),
+            injector=FaultInjector(
+                spec, model=latency_model, seed=seed, metrics=self.metrics
+            ),
             policy=policy,
+            metrics=self.metrics,
+            tracer=tracer if tracer is not None else self.frontend.tracer,
         )
         return SearchCluster(
             corpus=self.corpus,
@@ -183,6 +217,7 @@ class SearchCluster:
             frontend=frontend,
             recorders=self.recorders,
             memory=self.memory,
+            metrics=self.metrics,
         )
 
     def serve_with_outcomes(
@@ -192,7 +227,7 @@ class SearchCluster:
         deadline_ms: float | None = None,
     ) -> tuple[list[SearchResultPage], LatencyAccumulator]:
         """Serve a query stream and accumulate per-query serving outcomes."""
-        outcomes = LatencyAccumulator()
+        outcomes = LatencyAccumulator(metrics=self.metrics)
         pages = []
         for query in queries:
             page = self.frontend.search_terms(

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, LeafUnavailableError
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.search.latency import QueryLatencyModel
 
 
@@ -108,6 +109,7 @@ class FaultInjector:
         spec: FaultSpec | None = None,
         model: QueryLatencyModel | None = None,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.spec = spec or FaultSpec()
         self.model = model or QueryLatencyModel()
@@ -115,10 +117,58 @@ class FaultInjector:
         self._rng = np.random.default_rng(seed)
         #: leaf_id -> simulated time of death, in arrival order.
         self.died_at_ms: dict[int, float] = {}
-        self.calls = 0
-        self.spikes = 0
-        self.transient_errors = 0
-        self.hard_failures = 0
+        # Per-instance counters: fault sweeps build one injector per
+        # configuration and read its counts afterwards, so these must not
+        # be shared families.  The latest injector wins the registry
+        # names (replace=True) — the snapshot describes the current run.
+        self._calls = Counter(
+            "repro.search.faults.calls",
+            help="Leaf RPC latency draws requested from the injector.",
+            unit="calls",
+        )
+        self._spikes = Counter(
+            "repro.search.faults.spikes",
+            help="Healthy draws that hit a latency spike.",
+            unit="calls",
+        )
+        self._transient_errors = Counter(
+            "repro.search.faults.transient_errors",
+            help="Draws that failed with a retryable error.",
+            unit="calls",
+        )
+        self._hard_failures = Counter(
+            "repro.search.faults.hard_failures",
+            help="Draws that fail-stopped a leaf.",
+            unit="calls",
+        )
+        if metrics is not None:
+            for counter in (
+                self._calls,
+                self._spikes,
+                self._transient_errors,
+                self._hard_failures,
+            ):
+                metrics.register(counter, replace=True)
+
+    @property
+    def calls(self) -> int:
+        """Total latency draws this injector has served (registry-backed)."""
+        return self._calls.value
+
+    @property
+    def spikes(self) -> int:
+        """Latency spikes injected so far (registry-backed)."""
+        return self._spikes.value
+
+    @property
+    def transient_errors(self) -> int:
+        """Transient errors injected so far (registry-backed)."""
+        return self._transient_errors.value
+
+    @property
+    def hard_failures(self) -> int:
+        """Fail-stop deaths injected so far (registry-backed)."""
+        return self._hard_failures.value
 
     # ------------------------------------------------------------------
 
@@ -137,7 +187,7 @@ class FaultInjector:
         four random variates so different fault rates share one latency
         stream.
         """
-        self.calls += 1
+        self._calls.inc()
         u_hard, u_transient, u_spike = self._rng.uniform(size=3)
         latency = self.model.sample_leaf_ms(self._rng, self.spec.utilization)
 
@@ -146,16 +196,16 @@ class FaultInjector:
                 leaf_id, transient=False, after_ms=self.spec.hard_fail_detect_ms
             )
         if u_hard < self.spec.hard_failure_rate:
-            self.hard_failures += 1
+            self._hard_failures.inc()
             self.died_at_ms[leaf_id] = self.clock.now_ms
             raise LeafUnavailableError(
                 leaf_id, transient=False, after_ms=self.spec.hard_fail_detect_ms
             )
         if u_transient < self.spec.transient_error_rate:
-            self.transient_errors += 1
+            self._transient_errors.inc()
             # The error surfaces when the reply would have: full latency.
             raise LeafUnavailableError(leaf_id, transient=True, after_ms=latency)
         if u_spike < self.spec.latency_spike_rate:
-            self.spikes += 1
+            self._spikes.inc()
             latency *= self.spec.spike_multiplier
         return latency

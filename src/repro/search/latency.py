@@ -16,11 +16,20 @@ per-leaf ``p**(1/N)`` quantile.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    log_spaced_bounds,
+)
+
+#: Outcome-latency buckets: 0.1 ms .. 100 s of simulated time.
+_OUTCOME_BOUNDS = log_spaced_bounds(lo=0.1, hi=100_000.0, per_decade=4)
 
 
 @dataclass(frozen=True)
@@ -135,7 +144,6 @@ class QueryLatencyModel:
         return self.query_quantile_ms(p, utilization, relative_throughput) <= slo_ms
 
 
-@dataclass
 class LatencyAccumulator:
     """Collects per-query outcomes from the robust serving path.
 
@@ -145,25 +153,79 @@ class LatencyAccumulator:
     §IV-B's tail-latency check — availability, degraded-result rate, and
     latency quantiles — comparable against :class:`QueryLatencyModel`'s
     analytic predictions.
+
+    Outcome counters (``complete``/``degraded``/``failed``) are
+    registry-backed behind the original attribute names; the exact
+    latency list is kept alongside the bucketed registry histogram so
+    ``quantile_ms`` stays exact (the histogram's quantiles are
+    conservative upper bounds, fine for dashboards, not for asserting
+    SLO math).
     """
 
-    latencies_ms: list[float] = field(default_factory=list)
-    complete: int = 0
-    degraded: int = 0
-    #: Queries that returned *no* results at all (every leaf lost).
-    failed: int = 0
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        """Create an empty accumulator, optionally registry-published.
+
+        The accumulator owns its counters (one accumulator per serving
+        run); with a ``metrics`` registry they appear under
+        ``repro.search.outcomes.*`` and the latest run wins the names.
+        """
+        self.latencies_ms: list[float] = []
+        self._complete = Counter(
+            "repro.search.outcomes.complete",
+            help="Queries answered by every leaf.",
+            unit="queries",
+        )
+        self._degraded = Counter(
+            "repro.search.outcomes.degraded",
+            help="Queries answered by a strict, non-empty subset of leaves.",
+            unit="queries",
+        )
+        self._failed = Counter(
+            "repro.search.outcomes.failed",
+            help="Queries that returned no results at all (every leaf lost).",
+            unit="queries",
+        )
+        self._latency = Histogram(
+            "repro.search.outcomes.latency_ms",
+            help="Simulated per-query latency of the robust serving path.",
+            unit="ms",
+            bounds=_OUTCOME_BOUNDS,
+        )
+        if metrics is not None:
+            for metric in (
+                self._complete,
+                self._degraded,
+                self._failed,
+                self._latency,
+            ):
+                metrics.register(metric, replace=True)
+
+    @property
+    def complete(self) -> int:
+        """Queries every leaf answered (registry-backed)."""
+        return self._complete.value
+
+    @property
+    def degraded(self) -> int:
+        """Queries served from an incomplete leaf set (registry-backed)."""
+        return self._degraded.value
+
+    @property
+    def failed(self) -> int:
+        """Queries that returned no results at all (registry-backed)."""
+        return self._failed.value
 
     def observe(self, page) -> None:
         """Record one served page (duck-typed to avoid an import cycle)."""
-        self.latencies_ms.append(
-            0.0 if page.latency_ms is None else float(page.latency_ms)
-        )
+        latency_ms = 0.0 if page.latency_ms is None else float(page.latency_ms)
+        self.latencies_ms.append(latency_ms)
+        self._latency.observe(latency_ms)
         if page.complete:
-            self.complete += 1
+            self._complete.inc()
         elif page.leaves_answered == 0:
-            self.failed += 1
+            self._failed.inc()
         else:
-            self.degraded += 1
+            self._degraded.inc()
 
     # ------------------------------------------------------------------
 

@@ -25,6 +25,7 @@ import numpy as np
 from repro._units import KiB
 from repro.errors import ConfigurationError
 from repro.memtrace.trace import AccessKind, Segment
+from repro.obs.metrics import MetricsRegistry
 from repro.search.indexer import IndexShard
 from repro.search.scoring import Bm25Parameters, bm25_score
 from repro.search.simmem import SimulatedMemory, TraceRecorder
@@ -58,6 +59,7 @@ class LeafServer:
         bm25: Bm25Parameters = Bm25Parameters(),
         accumulator_slots: int = 1 << 15,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if accumulator_slots <= 0:
             raise ConfigurationError("accumulator_slots must be positive")
@@ -66,9 +68,27 @@ class LeafServer:
         self.recorder = recorder
         self.bm25 = bm25
         self._rng = np.random.default_rng(seed)
-        self.queries_served = 0
-        self.postings_scored = 0
-        self.postings_skipped = 0
+        # Work counters are labeled children of cluster-wide families
+        # (``repro.search.leaf.*``, label ``shard``): each leaf owns its
+        # child, the family value sums across leaves.  Without a shared
+        # registry a private one keeps the per-leaf accessors live.
+        registry = metrics if metrics is not None else MetricsRegistry()
+        shard_label = str(shard.shard_id)
+        self._queries = registry.counter(
+            "repro.search.leaf.queries",
+            help="Queries scored by leaf servers (per shard).",
+            unit="queries",
+        ).labels(shard=shard_label)
+        self._postings_scored = registry.counter(
+            "repro.search.leaf.postings_scored",
+            help="Postings decoded and scored (per shard).",
+            unit="postings",
+        ).labels(shard=shard_label)
+        self._postings_skipped = registry.counter(
+            "repro.search.leaf.postings_skipped",
+            help="Postings skipped by early termination (per shard).",
+            unit="postings",
+        ).labels(shard=shard_label)
 
         self._accumulator_addr = -1
         self._term_dict_addr = -1
@@ -96,6 +116,21 @@ class LeafServer:
         self._term_rank = {
             term: rank for rank, term in enumerate(sorted(shard.postings))
         }
+
+    @property
+    def queries_served(self) -> int:
+        """Queries this leaf has scored (registry-backed)."""
+        return self._queries.value
+
+    @property
+    def postings_scored(self) -> int:
+        """Postings this leaf has decoded and scored (registry-backed)."""
+        return self._postings_scored.value
+
+    @property
+    def postings_skipped(self) -> int:
+        """Postings early termination let this leaf skip (registry-backed)."""
+        return self._postings_skipped.value
 
     # ------------------------------------------------------------------
     # Instrumentation helpers (no-ops when not recording)
@@ -136,7 +171,7 @@ class LeafServer:
         """
         if top_k < 1:
             raise ConfigurationError(f"top_k must be >= 1, got {top_k}")
-        self.queries_served += 1
+        self._queries.inc()
         self._code("parse", 0.5, _INSTR_QUERY_OVERHEAD)
 
         shard = self.shard
@@ -155,7 +190,7 @@ class LeafServer:
                     for skipped in terms[position:]:
                         posting = shard.postings.get(skipped)
                         if posting is not None:
-                            self.postings_skipped += posting.doc_count
+                            self._postings_skipped.inc(posting.doc_count)
                     break
             remaining_bound -= self._term_upper_bound(term)
             posting = shard.postings.get(term)
@@ -172,7 +207,7 @@ class LeafServer:
                 continue
 
             local_ids, freqs = posting.decode()
-            self.postings_scored += posting.doc_count
+            self._postings_scored.inc(posting.doc_count)
             self._code(
                 "decode", 1.0, _INSTR_PER_POSTING_DECODE * posting.doc_count
             )

@@ -36,6 +36,13 @@ class RetryPolicy:
         if self.backoff_ms < 0:
             raise ConfigurationError(f"backoff_ms must be >= 0, got {self.backoff_ms}")
 
+    def as_tags(self) -> dict[str, object]:
+        """Span tags describing this policy (``retry_`` prefixed)."""
+        return {
+            "retry_max_attempts": self.max_attempts,
+            "retry_backoff_ms": self.backoff_ms,
+        }
+
 
 @dataclass(frozen=True)
 class HedgePolicy:
@@ -52,6 +59,10 @@ class HedgePolicy:
     def __post_init__(self) -> None:
         if self.after_ms <= 0:
             raise ConfigurationError(f"after_ms must be positive, got {self.after_ms}")
+
+    def as_tags(self) -> dict[str, object]:
+        """Span tags describing this policy (``hedge_`` prefixed)."""
+        return {"hedge_after_ms": self.after_ms}
 
 
 @dataclass(frozen=True)
@@ -70,3 +81,11 @@ class ServingPolicy:
             raise ConfigurationError(
                 f"overhead_ms must be >= 0, got {self.overhead_ms}"
             )
+
+    def as_tags(self) -> dict[str, object]:
+        """Span tags describing the full policy (flat, prefix-namespaced)."""
+        tags: dict[str, object] = {"overhead_ms": self.overhead_ms}
+        tags.update(self.retry.as_tags())
+        if self.hedge is not None:
+            tags.update(self.hedge.as_tags())
+        return tags

@@ -18,6 +18,15 @@ returns a *degraded* :class:`SearchResultPage` (``complete`` False,
 ``leaves_answered < leaves_total``) instead of an error — the
 graceful-degradation behaviour real serving trees exhibit under the
 paper's §IV-B latency SLO.
+
+Observability: every aggregation level opens a ``root.aggregate`` span
+under the front end's query span, and every leaf call a ``leaf.rpc``
+span tagged with the shard, attempt count, hedging decision, and
+outcome.  Fan-out counters (``repro.search.root.*``) are shared by all
+levels of one tree through the cluster's
+:class:`~repro.obs.metrics.MetricsRegistry` — retries, hedges, deadline
+misses and outright leaf failures are visible per run without parsing
+traces.
 """
 
 from __future__ import annotations
@@ -31,6 +40,8 @@ from repro.errors import (
     LeafUnavailableError,
     ServingError,
 )
+from repro.obs.metrics import NULL_REGISTRY, Counter, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, SpanContext, Tracer
 from repro.search.faults import FaultInjector
 from repro.search.leaf import LeafServer, SearchHit
 from repro.search.policies import ServingPolicy
@@ -103,19 +114,63 @@ class RootServer:
     """Aggregates results from a subtree of leaves.
 
     ``generate_snippets`` is enabled only at the true root — intermediate
-    parents merge and forward.
+    parents merge and forward.  All nodes of one tree should share a
+    ``metrics`` registry (``build_tree`` wires this) so the fan-out
+    counters aggregate across levels.
     """
 
     def __init__(
         self,
         children: Sequence[Child],
         generate_snippets: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not children:
             raise ConfigurationError("a root server needs at least one child")
         self.children = list(children)
         self.generate_snippets = generate_snippets
-        self.queries_served = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        # Per-instance: only the true root's search() runs, so the last
+        # registration (build_tree constructs the true root last) is the
+        # one that counts.
+        self._queries = Counter(
+            "repro.search.root.queries",
+            help="Queries aggregated by the root server.",
+            unit="queries",
+        )
+        if metrics is not None and generate_snippets:
+            metrics.register(self._queries, replace=True)
+        # Shared families: incremented at every level of the tree.
+        self._leaf_rpcs = registry.counter(
+            "repro.search.root.leaf_rpcs",
+            help="Logical leaf RPCs issued by aggregators (all tree levels).",
+            unit="rpcs",
+        )
+        self._retries = registry.counter(
+            "repro.search.root.retries",
+            help="Extra leaf attempts after transient errors.",
+            unit="rpcs",
+        )
+        self._hedged = registry.counter(
+            "repro.search.root.hedged_rpcs",
+            help="Backup (hedged) leaf requests issued for slow primaries.",
+            unit="rpcs",
+        )
+        self._deadline_misses = registry.counter(
+            "repro.search.root.deadline_misses",
+            help="Leaf replies dropped because the deadline budget expired.",
+            unit="rpcs",
+        )
+        self._leaf_failures = registry.counter(
+            "repro.search.root.leaf_failures",
+            help="Leaf RPCs that never answered (failures, retries exhausted).",
+            unit="rpcs",
+        )
+
+    @property
+    def queries_served(self) -> int:
+        """Queries this aggregator has served (registry-backed)."""
+        return self._queries.value
 
     # ------------------------------------------------------------------
 
@@ -127,6 +182,8 @@ class RootServer:
         budget_ms: float | None,
         injector: FaultInjector | None,
         policy: ServingPolicy,
+        tracer: Tracer = NULL_TRACER,
+        parent_span: SpanContext | None = None,
     ) -> tuple[list[SearchHit] | None, float, bool]:
         """One leaf RPC with retries and hedging.
 
@@ -134,24 +191,52 @@ class RootServer:
         None when the leaf never answered (failure or deadline).  The
         leaf's shard is only scored when its reply would actually arrive
         in time — lost work is lost.
+
+        Units: ``budget_ms`` is the remaining deadline budget in
+        milliseconds of simulated time (None = no deadline).
         """
+        self._leaf_rpcs.inc()
+        span = None
+        if tracer.enabled:
+            start_ms = injector.clock.now_ms if injector is not None else 0.0
+            span = tracer.start_span(
+                "leaf.rpc", parent=parent_span, start_ms=start_ms
+            ).tag(shard=leaf.shard.shard_id)
         if injector is None:
-            return leaf.search(terms, top_k=top_k), 0.0, False
+            hits = leaf.search(terms, top_k=top_k)
+            if span is not None:
+                span.tag(attempts=1, hedged=False, outcome="ok").finish(0.0)
+            return hits, 0.0, False
         leaf_id = leaf.shard.shard_id
         retry = policy.retry
         elapsed = 0.0
+        hedged_any = False
         for attempt in range(1, retry.max_attempts + 1):
+            if attempt > 1:
+                self._retries.inc()
             try:
                 latency = injector.leaf_latency_ms(leaf_id)
             except LeafUnavailableError as error:
                 elapsed += error.after_ms
                 if budget_ms is not None and elapsed > budget_ms:
+                    self._deadline_misses.inc()
+                    if span is not None:
+                        span.tag(
+                            attempts=attempt, hedged=hedged_any, outcome="deadline"
+                        ).finish(budget_ms)
                     return None, budget_ms, True
                 if not error.transient or attempt == retry.max_attempts:
+                    self._leaf_failures.inc()
+                    if span is not None:
+                        span.tag(
+                            attempts=attempt, hedged=hedged_any, outcome="failed"
+                        ).finish(elapsed)
                     return None, elapsed, False
                 elapsed += retry.backoff_ms
                 continue
             if policy.hedge is not None and latency > policy.hedge.after_ms:
+                self._hedged.inc()
+                hedged_any = True
                 try:
                     hedged = injector.leaf_latency_ms(leaf_id)
                 except LeafUnavailableError:
@@ -160,8 +245,23 @@ class RootServer:
                     latency = min(latency, policy.hedge.after_ms + hedged)
             elapsed += latency
             if budget_ms is not None and elapsed > budget_ms:
+                self._deadline_misses.inc()
+                if span is not None:
+                    span.tag(
+                        attempts=attempt, hedged=hedged_any, outcome="deadline"
+                    ).finish(budget_ms)
                 return None, budget_ms, True
-            return leaf.search(terms, top_k=top_k), elapsed, False
+            hits = leaf.search(terms, top_k=top_k)
+            if span is not None:
+                span.tag(
+                    attempts=attempt, hedged=hedged_any, outcome="ok"
+                ).finish(elapsed)
+            return hits, elapsed, False
+        self._leaf_failures.inc()
+        if span is not None:
+            span.tag(
+                attempts=retry.max_attempts, hedged=hedged_any, outcome="failed"
+            ).finish(elapsed)
         return None, elapsed, False
 
     def _collect(
@@ -171,13 +271,25 @@ class RootServer:
         budget_ms: float | None = None,
         injector: FaultInjector | None = None,
         policy: ServingPolicy = _DEFAULT_POLICY,
+        tracer: Tracer = NULL_TRACER,
+        parent_span: SpanContext | None = None,
     ) -> _SubtreeReply:
         """Fan out and merge; children each return their local top-k.
 
         ``budget_ms`` is the remaining deadline budget for this subtree;
         each level keeps ``policy.overhead_ms`` for its own merge and
         hands the rest down.
+
+        Units: ``budget_ms`` is milliseconds of simulated time.
         """
+        span = None
+        level_ctx = parent_span
+        if tracer.enabled:
+            start_ms = injector.clock.now_ms if injector is not None else 0.0
+            span = tracer.start_span(
+                "root.aggregate", parent=parent_span, start_ms=start_ms
+            ).tag(children=len(self.children), snippets=self.generate_snippets)
+            level_ctx = span.context
         child_budget = (
             None if budget_ms is None else max(0.0, budget_ms - policy.overhead_ms)
         )
@@ -190,14 +302,29 @@ class RootServer:
             if isinstance(child, LeafServer):
                 total += 1
                 hits, ready_ms, child_missed = self._leaf_reply(
-                    child, terms, top_k, child_budget, injector, policy
+                    child,
+                    terms,
+                    top_k,
+                    child_budget,
+                    injector,
+                    policy,
+                    tracer=tracer,
+                    parent_span=level_ctx,
                 )
                 if hits is not None:
                     answered += 1
                     answered_leaves.append(child)
                     merged.extend(hits)
             else:
-                reply = child._collect(terms, top_k, child_budget, injector, policy)
+                reply = child._collect(
+                    terms,
+                    top_k,
+                    child_budget,
+                    injector,
+                    policy,
+                    tracer=tracer,
+                    parent_span=level_ctx,
+                )
                 total += reply.total
                 answered += reply.answered
                 answered_leaves.extend(reply.answered_leaves)
@@ -210,6 +337,10 @@ class RootServer:
             completion = budget_ms
         elif injector is not None:
             completion += policy.overhead_ms
+        if span is not None:
+            span.tag(
+                answered=answered, total=total, missed_deadline=missed
+            ).finish(completion)
         return _SubtreeReply(
             hits=_merge_hits(merged, top_k),
             answered=answered,
@@ -236,6 +367,8 @@ class RootServer:
         injector: FaultInjector | None = None,
         policy: ServingPolicy | None = None,
         on_incomplete: str = "degrade",
+        tracer: Tracer | None = None,
+        parent_span: SpanContext | None = None,
     ) -> SearchResultPage:
         """Serve one query through the whole subtree.
 
@@ -245,6 +378,11 @@ class RootServer:
         a degraded page (``"degrade"``, the default) and raising
         (``"raise"`` → :class:`DeadlineExceededError` when the deadline
         expired, :class:`ServingError` when leaves failed outright).
+
+        ``tracer``/``parent_span`` continue the front end's query span;
+        leave them unset to serve untraced.
+
+        Units: ``deadline_ms`` is milliseconds of simulated time.
         """
         if deadline_ms is not None and deadline_ms <= 0:
             raise ConfigurationError(
@@ -255,8 +393,16 @@ class RootServer:
                 f"on_incomplete must be 'degrade' or 'raise', got {on_incomplete!r}"
             )
         policy = policy or _DEFAULT_POLICY
-        self.queries_served += 1
-        reply = self._collect(terms, top_k, deadline_ms, injector, policy)
+        self._queries.inc()
+        reply = self._collect(
+            terms,
+            top_k,
+            deadline_ms,
+            injector,
+            policy,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+            parent_span=parent_span,
+        )
         complete = reply.answered == reply.total
         if not complete and on_incomplete == "raise":
             if reply.missed_deadline:
@@ -293,11 +439,14 @@ class RootServer:
         cls,
         leaves: Sequence[LeafServer],
         fanout: int = 4,
+        metrics: MetricsRegistry | None = None,
     ) -> "RootServer":
         """Build a balanced aggregation tree over the leaves.
 
         Intermediate parents are inserted whenever a level exceeds the
         fanout, mirroring the paper's root/intermediate-parent hierarchy.
+        All levels share ``metrics`` so the ``repro.search.root.*``
+        counters aggregate across the whole tree.
         """
         if fanout < 2:
             raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
@@ -306,7 +455,7 @@ class RootServer:
             raise ConfigurationError("need at least one leaf")
         while len(level) > fanout:
             level = [
-                cls(level[i : i + fanout], generate_snippets=False)
+                cls(level[i : i + fanout], generate_snippets=False, metrics=metrics)
                 for i in range(0, len(level), fanout)
             ]
-        return cls(level, generate_snippets=True)
+        return cls(level, generate_snippets=True, metrics=metrics)

@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import ConfigurationError, SimulationError
 from repro.memtrace.address_space import AddressSpace
 from repro.memtrace.trace import AccessKind, Segment, Trace
+from repro.obs.metrics import MetricsRegistry
 
 _LINE = 64
 
@@ -73,14 +74,30 @@ class TraceRecorder:
     the retired-instruction budget that MPKI is normalized by.
     """
 
-    def __init__(self, thread_id: int = 0) -> None:
+    def __init__(
+        self, thread_id: int = 0, metrics: MetricsRegistry | None = None
+    ) -> None:
         self.thread_id = thread_id
         self._addr: list[np.ndarray] = []
         self._kind: list[np.ndarray] = []
         self._segment: list[np.ndarray] = []
         self._instructions = 0
-        self._total_accesses = 0
-        self._total_instructions = 0
+        # Cumulative counters live in ``repro.mem.trace.*`` families
+        # (label ``thread``): they survive :meth:`reset` by design — a
+        # trace drain must not zero run-level accounting.  A private
+        # registry backs them when no shared one is supplied.
+        registry = metrics if metrics is not None else MetricsRegistry()
+        thread_label = str(thread_id)
+        self._total_accesses = registry.counter(
+            "repro.mem.trace.accesses",
+            help="Cache-line accesses recorded (per trace thread).",
+            unit="accesses",
+        ).labels(thread=thread_label)
+        self._total_instructions = registry.counter(
+            "repro.mem.trace.instructions",
+            help="Retired instructions charged (per trace thread).",
+            unit="instructions",
+        ).labels(thread=thread_label)
 
     # ------------------------------------------------------------------
 
@@ -100,7 +117,7 @@ class TraceRecorder:
         self._addr.append(lines)
         self._kind.append(np.full(len(lines), int(kind), np.uint8))
         self._segment.append(np.full(len(lines), int(segment), np.uint8))
-        self._total_accesses += len(lines)
+        self._total_accesses.inc(len(lines))
 
     def touch_many(
         self,
@@ -114,14 +131,14 @@ class TraceRecorder:
         self._addr.append(np.asarray(addrs, np.int64))
         self._kind.append(np.full(len(addrs), int(kind), np.uint8))
         self._segment.append(np.full(len(addrs), int(segment), np.uint8))
-        self._total_accesses += len(addrs)
+        self._total_accesses.inc(len(addrs))
 
     def execute(self, instructions: int) -> None:
         """Advance the retired-instruction count."""
         if instructions < 0:
             raise ConfigurationError("instructions must be non-negative")
         self._instructions += instructions
-        self._total_instructions += instructions
+        self._total_instructions.inc(instructions)
 
     @property
     def instructions(self) -> int:
@@ -139,12 +156,12 @@ class TraceRecorder:
         Run-level statistics must use this, not :attr:`pending_accesses`,
         or draining the trace silently zeroes the counters.
         """
-        return self._total_accesses
+        return self._total_accesses.value
 
     @property
     def total_instructions(self) -> int:
         """Cumulative instructions ever executed; survives :meth:`reset`."""
-        return self._total_instructions
+        return self._total_instructions.value
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,83 @@
+"""Tests for RPR401 (undocumented public API): positives and negatives."""
+
+from repro.analysis import lint_source
+
+MODULE = "repro.obs.fixture"
+
+
+def rules(source, module=MODULE, select=("RPR401",)):
+    return [v.rule for v in lint_source(source, module=module, select=select)]
+
+
+class TestMissingDocstring:
+    def test_bare_function(self):
+        assert rules("def snapshot():\n    return 1\n") == ["RPR401"]
+
+    def test_public_method(self):
+        src = "class Tracer:\n    def drain(self):\n        pass\n"
+        assert rules(src) == ["RPR401"]
+
+    def test_init_needs_docstring(self):
+        src = "class Tracer:\n    def __init__(self):\n        pass\n"
+        assert rules(src) == ["RPR401"]
+
+    def test_message_names_the_function(self):
+        (violation,) = lint_source(
+            "def export():\n    pass\n", module=MODULE, select=("RPR401",)
+        )
+        assert "export" in violation.message
+
+
+class TestUnitsLine:
+    def test_unit_param_without_units_line(self):
+        src = 'def observe(duration_ms):\n    """Record it."""\n'
+        assert rules(src) == ["RPR401"]
+
+    def test_unit_param_with_units_line(self):
+        src = (
+            "def observe(duration_ms):\n"
+            '    """Record it.\n\n    Units: duration_ms is milliseconds.\n"""\n'
+        )
+        assert rules(src) == []
+
+    def test_size_suffixes_also_require_units(self):
+        src = 'def cap(limit_bytes):\n    """Set it."""\n'
+        assert rules(src) == ["RPR401"]
+
+    def test_unitless_params_need_no_units_line(self):
+        src = 'def inc(amount):\n    """Add amount."""\n'
+        assert rules(src) == []
+
+    def test_units_line_checked_anywhere_in_docstring(self):
+        src = (
+            "def wait(delay_ms, retries):\n"
+            '    """Wait.\n\n    retries caps attempts.\n'
+            '    Units: delay_ms is ms.\n    """\n'
+        )
+        assert rules(src) == []
+
+
+class TestExemptions:
+    def test_private_function(self):
+        assert rules("def _helper():\n    return 1\n") == []
+
+    def test_private_class_body_skipped(self):
+        src = "class _Null:\n    def finish(self, duration_ms):\n        pass\n"
+        assert rules(src) == []
+
+    def test_nested_function(self):
+        src = 'def outer():\n    """Doc."""\n    def inner():\n        pass\n'
+        assert rules(src) == []
+
+    def test_exempt_dunders(self):
+        src = "class Tracer:\n    def __len__(self):\n        return 0\n"
+        assert rules(src) == []
+
+    def test_noqa_suppression(self):
+        assert rules("def drain():  # repro: noqa\n    pass\n") == []
+
+
+class TestScope:
+    def test_only_obs_modules_checked(self):
+        src = "def undocumented():\n    pass\n"
+        assert rules(src, module="repro.search.fixture") == []

@@ -1,0 +1,288 @@
+"""Unit and property tests for the metrics half of ``repro.obs``."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    log_spaced_bounds,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("repro.test.c")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_increment_rejected(self):
+        c = Counter("repro.test.c")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_labeled_children_sum_into_parent(self):
+        c = Counter("repro.test.c")
+        c.inc(2)
+        c.labels(shard="0").inc(3)
+        c.labels(shard="1").inc(4)
+        assert c.value == 9
+        assert c.labels(shard="0").value == 3
+
+    def test_label_key_order_insensitive(self):
+        c = Counter("repro.test.c")
+        assert c.labels(a="1", b="2") is c.labels(b="2", a="1")
+
+    def test_child_cannot_be_labeled_further(self):
+        c = Counter("repro.test.c")
+        child = c.labels(shard="0")
+        with pytest.raises(ConfigurationError):
+            child.labels(core="1")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("repro.test.g")
+        g.set(10.0)
+        g.add(-2.5)
+        assert g.value == 7.5
+
+    def test_children_do_not_sum_into_parent(self):
+        g = Gauge("repro.test.g")
+        g.set(1.0)
+        g.labels(segment="heap").set(100.0)
+        assert g.value == 1.0
+
+
+class TestLogSpacedBounds:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            log_spaced_bounds(lo=0.0)
+        with pytest.raises(ConfigurationError):
+            log_spaced_bounds(lo=10.0, hi=1.0)
+        with pytest.raises(ConfigurationError):
+            log_spaced_bounds(per_decade=0)
+
+    def test_covers_the_requested_range(self):
+        bounds = log_spaced_bounds(lo=0.1, hi=1000.0, per_decade=4)
+        assert bounds[0] == 0.1
+        assert bounds[-1] >= 1000.0
+
+    @settings(max_examples=50)
+    @given(
+        lo=st.floats(min_value=1e-3, max_value=10.0),
+        decades=st.integers(min_value=1, max_value=6),
+        per_decade=st.integers(min_value=1, max_value=10),
+    )
+    def test_bounds_strictly_increasing(self, lo, decades, per_decade):
+        bounds = log_spaced_bounds(
+            lo=lo, hi=lo * 10.0**decades, per_decade=per_decade
+        )
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+
+class TestHistogram:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("repro.test.h", bounds=(1.0, 1.0, 2.0))
+
+    def test_observe_and_stats(self):
+        h = Histogram("repro.test.h", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        assert h.min == 0.5
+        assert h.max == 500.0
+        assert h.mean == pytest.approx(555.5 / 4)
+        assert h.bucket_counts == [1, 1, 1, 1]
+
+    def test_quantile_returns_bucket_upper_edge(self):
+        h = Histogram("repro.test.h", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.quantile(0.30) == 1.0
+        assert h.quantile(0.50) == 10.0
+        assert h.quantile(0.99) == 100.0
+
+    def test_overflow_bucket_quantile_is_observed_max(self):
+        h = Histogram("repro.test.h", bounds=(1.0,))
+        h.observe(123.0)
+        assert h.quantile(0.5) == 123.0
+
+    def test_empty_quantile_and_mean_raise(self):
+        h = Histogram("repro.test.h")
+        with pytest.raises(ConfigurationError):
+            h.quantile(0.5)
+        with pytest.raises(ConfigurationError):
+            h.mean
+
+    def test_merge_requires_identical_bounds(self):
+        a = Histogram("a", bounds=(1.0, 2.0))
+        b = Histogram("b", bounds=(1.0, 3.0))
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    # -- property-based invariants ------------------------------------
+
+    @staticmethod
+    def _filled(values):
+        h = Histogram("repro.test.h", bounds=log_spaced_bounds(0.01, 100.0, 2))
+        for value in values:
+            h.observe(value)
+        return h
+
+    observations = st.lists(
+        st.floats(min_value=0.001, max_value=1000.0), max_size=50
+    )
+
+    @settings(max_examples=50)
+    @given(xs=observations, ys=observations, zs=observations)
+    def test_merge_is_associative(self, xs, ys, zs):
+        a, b, c = self._filled(xs), self._filled(ys), self._filled(zs)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.bucket_counts == right.bucket_counts
+        assert left.count == right.count
+        assert math.isclose(left.sum, right.sum, rel_tol=1e-9, abs_tol=1e-12)
+        assert left.min == right.min and left.max == right.max
+
+    @settings(max_examples=50)
+    @given(xs=observations, ys=observations)
+    def test_merge_equals_observing_everything(self, xs, ys):
+        merged = self._filled(xs).merge(self._filled(ys))
+        combined = self._filled(xs + ys)
+        assert merged.bucket_counts == combined.bucket_counts
+        assert merged.count == combined.count
+
+    @settings(max_examples=50)
+    @given(
+        xs=st.lists(
+            st.floats(min_value=0.001, max_value=1000.0),
+            min_size=1,
+            max_size=50,
+        ),
+        p=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_quantile_is_an_upper_bound(self, xs, p):
+        h = self._filled(xs)
+        exact = sorted(xs)[math.ceil(p * len(xs)) - 1]
+        assert h.quantile(p) >= exact
+
+
+class TestMetricsRegistry:
+    def test_counter_is_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro.test.c")
+        assert registry.counter("repro.test.c") is a
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.test.m")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("repro.test.m")
+
+    def test_register_rejects_duplicates_without_replace(self):
+        registry = MetricsRegistry()
+        registry.register(Counter("repro.test.c"))
+        with pytest.raises(ConfigurationError):
+            registry.register(Counter("repro.test.c"))
+
+    def test_register_replace_supersedes_but_old_keeps_counts(self):
+        registry = MetricsRegistry()
+        old = Counter("repro.test.c")
+        registry.register(old)
+        old.inc(7)
+        new = Counter("repro.test.c")
+        registry.register(new, replace=True)
+        new.inc(1)
+        assert registry.snapshot().value("repro.test.c") == 1
+        assert old.value == 7  # the superseded instance is untouched
+
+    def test_snapshot_prefix_is_hierarchical(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.search.leaf.queries").inc()
+        registry.counter("repro.search2.queries").inc()
+        snap = registry.snapshot(prefix="repro.search")
+        assert "repro.search.leaf.queries" in snap
+        assert "repro.search2.queries" not in snap
+
+    def test_null_registry_records_nothing(self):
+        NULL_REGISTRY.counter("repro.test.c").inc(5)
+        NULL_REGISTRY.gauge("repro.test.g").set(5.0)
+        NULL_REGISTRY.histogram("repro.test.h").observe(5.0)
+        assert len(NULL_REGISTRY.snapshot()) == 0
+
+    def test_null_registry_labels_return_the_null_instrument(self):
+        c = NULL_REGISTRY.counter("repro.test.c")
+        assert c.labels(shard="0") is c
+
+
+class TestMetricsSnapshot:
+    @staticmethod
+    def _registry():
+        registry = MetricsRegistry()
+        registry.counter("repro.test.c").inc(3)
+        registry.gauge("repro.test.g").set(1.5)
+        registry.histogram("repro.test.h", bounds=(1.0, 10.0)).observe(5.0)
+        return registry
+
+    def test_value_and_payload(self):
+        snap = self._registry().snapshot()
+        assert snap.value("repro.test.c") == 3
+        assert snap.payload("repro.test.h")["count"] == 1
+        with pytest.raises(ConfigurationError):
+            snap.value("repro.test.h")  # histograms have no scalar value
+        with pytest.raises(ConfigurationError):
+            snap.payload("repro.test.missing")
+
+    def test_json_roundtrip(self):
+        snap = self._registry().snapshot()
+        restored = MetricsSnapshot.from_json(snap.to_json())
+        assert restored.to_dict() == snap.to_dict()
+
+    def test_delta_subtracts_counters_and_keeps_gauges(self):
+        registry = self._registry()
+        before = registry.snapshot()
+        registry.counter("repro.test.c").inc(4)
+        registry.gauge("repro.test.g").set(9.0)
+        registry.histogram("repro.test.h").observe(2.0)
+        delta = registry.snapshot().delta(before)
+        assert delta.value("repro.test.c") == 4
+        assert delta.value("repro.test.g") == 9.0
+        assert delta.payload("repro.test.h")["count"] == 1
+
+    def test_delta_subtracts_labeled_children(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro.test.c")
+        counter.labels(shard="0").inc(2)
+        before = registry.snapshot()
+        counter.labels(shard="0").inc(3)
+        counter.labels(shard="1").inc(1)
+        delta = registry.snapshot().delta(before)
+        children = delta.payload("repro.test.c")["children"]
+        assert children == {"{shard=0}": 3, "{shard=1}": 1}
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = self._registry().snapshot(), self._registry().snapshot()
+        merged = a.merge(b)
+        assert merged.value("repro.test.c") == 6
+        assert merged.payload("repro.test.h")["count"] == 2
+        assert merged.value("repro.test.g") == 1.5  # other wins
+
+    def test_merge_passes_through_disjoint_metrics(self):
+        a = MetricsSnapshot({"only.a": {"type": "counter", "value": 1}})
+        b = MetricsSnapshot({"only.b": {"type": "counter", "value": 2}})
+        merged = a.merge(b)
+        assert merged.value("only.a") == 1
+        assert merged.value("only.b") == 2

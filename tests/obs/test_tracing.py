@@ -1,0 +1,142 @@
+"""Unit and property tests for the tracing half of ``repro.obs``."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+
+def finish_one(tracer, name="span", duration_ms=1.0, parent=None):
+    return tracer.start_span(name, parent=parent).finish(duration_ms)
+
+
+class TestSpanLifecycle:
+    def test_root_span_starts_its_own_trace(self):
+        span = finish_one(Tracer(), "frontend.query")
+        assert span.trace_id == span.span_id
+        assert span.parent_id is None
+
+    def test_child_inherits_trace_and_points_at_parent(self):
+        tracer = Tracer()
+        root = tracer.start_span("frontend.query")
+        child = tracer.start_span("root.aggregate", parent=root.context)
+        grandchild = tracer.start_span("leaf.rpc", parent=child.context)
+        for active in (grandchild, child, root):
+            active.finish(1.0)
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["root.aggregate"].parent_id == spans["frontend.query"].span_id
+        assert spans["leaf.rpc"].parent_id == spans["root.aggregate"].span_id
+        assert (
+            spans["leaf.rpc"].trace_id
+            == spans["root.aggregate"].trace_id
+            == spans["frontend.query"].trace_id
+        )
+
+    def test_ids_are_deterministic_sequence_numbers(self):
+        ids = [finish_one(Tracer()).span_id for _ in range(3)]
+        assert ids == [1, 1, 1]
+        tracer = Tracer()
+        assert [finish_one(tracer).span_id for _ in range(3)] == [1, 2, 3]
+
+    def test_tags_accumulate_and_chain(self):
+        tracer = Tracer()
+        span = tracer.start_span("s").tag(a=1).tag(b="x").finish(2.0)
+        assert span.tags == {"a": 1, "b": "x"}
+        assert span.duration_ms == 2.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tracer().start_span("s").finish(-1.0)
+
+
+class TestRingBuffer:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(capacity=0)
+
+    def test_fifo_eviction_keeps_newest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            finish_one(tracer, name=f"span-{i}")
+        assert [s.name for s in tracer.spans()] == ["span-2", "span-3", "span-4"]
+        assert tracer.dropped_spans == 2
+        assert tracer.finished_spans == 5
+
+    def test_counters_survive_drain(self):
+        tracer = Tracer(capacity=2)
+        for i in range(4):
+            finish_one(tracer, name=f"span-{i}")
+        drained = tracer.drain()
+        assert [s.name for s in drained] == ["span-2", "span-3"]
+        assert len(tracer) == 0
+        assert tracer.finished_spans == 4
+        assert tracer.dropped_spans == 2
+
+    @settings(max_examples=50)
+    @given(
+        capacity=st.integers(min_value=1, max_value=64),
+        n=st.integers(min_value=0, max_value=200),
+    )
+    def test_memory_is_bounded_and_eviction_is_fifo(self, capacity, n):
+        tracer = Tracer(capacity=capacity)
+        for i in range(n):
+            finish_one(tracer, name=f"span-{i}")
+        assert len(tracer) == min(n, capacity)
+        assert tracer.dropped_spans == max(0, n - capacity)
+        expected = [f"span-{i}" for i in range(max(0, n - capacity), n)]
+        assert [s.name for s in tracer.spans()] == expected
+
+
+class TestExport:
+    def test_jsonl_to_file_object(self):
+        tracer = Tracer()
+        finish_one(tracer, name="a", duration_ms=1.5)
+        finish_one(tracer, name="b")
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 2
+        lines = buffer.getvalue().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_jsonl_to_path_without_draining(self, tmp_path):
+        tracer = Tracer()
+        finish_one(tracer, name="a")
+        target = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(target) == 1
+        assert len(tracer) == 1  # export is a read, not a drain
+        record = json.loads(target.read_text().strip())
+        assert record["name"] == "a" and record["parent_id"] is None
+
+    def test_export_is_byte_deterministic(self):
+        def render():
+            tracer = Tracer()
+            root = tracer.start_span("q", start_ms=3.0)
+            tracer.start_span("leaf", parent=root.context).tag(
+                shard=0, outcome="ok"
+            ).finish(2.0)
+            root.finish(5.0)
+            buffer = io.StringIO()
+            tracer.export_jsonl(buffer)
+            return buffer.getvalue()
+
+        assert render() == render()
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        span = tracer.start_span("frontend.query")
+        assert span.tag(a=1) is span
+        span.finish(10.0)
+        assert len(tracer) == 0
+        assert tracer.spans() == []
+
+    def test_shared_instance_is_reused(self):
+        tracer = NullTracer()
+        assert tracer.start_span("a") is tracer.start_span("b")
+        assert NULL_TRACER.enabled is False

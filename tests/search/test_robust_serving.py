@@ -44,7 +44,7 @@ class ScriptedInjector(FaultInjector):
         self.script = {k: list(v) for k, v in script.items()}
 
     def leaf_latency_ms(self, leaf_id):
-        self.calls += 1
+        self._calls.inc()
         from repro.errors import LeafUnavailableError
 
         if self.is_dead(leaf_id):

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Check relative links in the repository's markdown docs.
+
+Scans every tracked ``*.md`` file for inline markdown links, resolves
+relative targets against the linking file, and fails (exit 1) when a
+target file — or a ``#heading`` anchor within one — does not exist.
+External links (http/https/mailto) are not fetched; CI must stay
+offline-deterministic.
+
+Usage::
+
+    python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link: [text](target) with an optional "title".
+_LINK_RE = re.compile(r"\[[^\]]*\]\(<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+#: Directories never scanned.
+_SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """Every markdown file under ``root``, skipping vendored/VCS dirs."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def _strip_fenced_code(text: str) -> str:
+    """Blank out fenced code blocks so example links are not checked."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def _github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading line."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[`*_~]", "", anchor)
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All heading anchors defined in one markdown file."""
+    anchors: set[str] = set()
+    for line in _strip_fenced_code(
+        path.read_text(encoding="utf-8")
+    ).splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if match:
+            anchors.add(_github_anchor(match.group(1)))
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Problems with the relative links of one markdown file."""
+    problems: list[str] = []
+    text = _strip_fenced_code(path.read_text(encoding="utf-8"))
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        where = f"{path.relative_to(root)}:{line}"
+        file_part, _, anchor = target.partition("#")
+        if not file_part:
+            if anchor and _github_anchor(anchor) not in heading_anchors(path):
+                problems.append(f"{where}: no heading for anchor #{anchor}")
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{where}: broken link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if _github_anchor(anchor) not in heading_anchors(resolved):
+                problems.append(
+                    f"{where}: {file_part} has no heading for anchor #{anchor}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=".",
+        help="repository root to scan (default: current directory)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+
+    files = markdown_files(root)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown file(s): "
+        f"{len(problems)} broken link(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
