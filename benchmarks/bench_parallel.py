@@ -1,0 +1,47 @@
+"""Benchmarks for the parallel runner and the artifact cache.
+
+Two claims are pinned here:
+
+* a parallel campaign returns byte-identical results to the serial
+  reference (the determinism contract of
+  :mod:`repro.experiments.parallel`), and
+* a warm artifact cache serves generated streams measurably faster than
+  regenerating them (``extra_info`` records the cold/warm ratio so the
+  speedup lands in the benchmark archive).
+"""
+
+from repro.experiments.common import clear_run_cache, wall_clock
+from repro.experiments.parallel import run_report
+
+_IDS = ["table2", "fig4", "fig8"]
+
+
+def test_parallel_campaign(run_once, preset, benchmark):
+    """Three cheap experiments across two workers, checked against serial."""
+    serial = run_report(preset, only=_IDS, jobs=1)
+    report = run_once(run_report, preset, only=_IDS, jobs=2)
+    assert [r.experiment_id for r in report.results] == _IDS
+    for a, b in zip(serial.results, report.results):
+        assert a.render() == b.render()
+    benchmark.extra_info["experiments"] = len(report.results)
+
+
+def test_cache_warm_vs_cold(run_once, preset, benchmark, tmp_path):
+    """One cached experiment: the warm rerun must hit on every artifact."""
+    cache_dir = tmp_path / "artifacts"
+    clear_run_cache()
+    start = wall_clock()
+    cold = run_report(preset, only=["fig2"], jobs=1, cache_dir=cache_dir)
+    cold_s = wall_clock() - start
+
+    clear_run_cache()
+    start = wall_clock()
+    warm = run_once(run_report, preset, only=["fig2"], jobs=1, cache_dir=cache_dir)
+    warm_s = wall_clock() - start
+
+    assert warm.cache_stats()["misses"] == 0
+    assert warm.cache_stats()["hits"] == cold.cache_stats()["misses"]
+    assert warm.results[0].render() == cold.results[0].render()
+    benchmark.extra_info["cold_s"] = round(cold_s, 3)
+    benchmark.extra_info["warm_s"] = round(warm_s, 3)
+    benchmark.extra_info["cache_hits"] = warm.cache_stats()["hits"]

@@ -19,6 +19,7 @@ heavily Zipfian streams.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,7 +67,9 @@ def sampled_hit_rate(
     if len(lines) == 0:
         raise TraceError("cannot sample an empty stream")
     num_sets = geometry.num_sets
-    sampled_sets = max(1, int(num_sets * sample_fraction))
+    # Round half-up, not truncate: int() turned 48 sets * 1/3 into 15
+    # sampled sets (and fractions just shy of 1.0 into a partial cache).
+    sampled_sets = min(num_sets, max(1, math.floor(num_sets * sample_fraction + 0.5)))
     rng = np.random.default_rng(seed)
     chosen = rng.choice(num_sets, size=sampled_sets, replace=False)
     chosen_mask = np.zeros(num_sets, bool)

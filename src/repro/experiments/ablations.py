@@ -31,7 +31,7 @@ from repro.cachesim.directmapped import simulate_direct_mapped
 from repro.cachesim.opt import opt_hit_rate
 from repro.core.l4cache import L4Cache, L4Config
 from repro.experiments.common import ExperimentResult, RunPreset, composed_run
-from repro.memtrace.synthetic import SyntheticWorkload
+from repro.memtrace.synthetic import generate_segment_streams, generate_trace
 from repro.memtrace.trace import Segment
 from repro.workloads.profiles import get_profile
 
@@ -94,10 +94,9 @@ def shard_prefix_rows(result: ExperimentResult, preset: RunPreset) -> None:
         memory = profile.memory.scaled(preset.scale)
         if prefix is not None:
             memory = replace(memory, shard_prefix_prob=prefix)
-        workload = SyntheticWorkload(memory, seed=preset.seed)
-        stream = workload.segment_streams({Segment.SHARD: preset.shard_events // 2})[
-            Segment.SHARD
-        ]
+        stream = generate_segment_streams(
+            memory, {Segment.SHARD: preset.shard_events // 2}, seed=preset.seed
+        )[Segment.SHARD]
         hit = MissRatioCurve(stream).hit_rate(capacity_lines)
         result.add(
             series="shard-prefix",
@@ -151,18 +150,18 @@ def composition_vs_flat_rows(result: ExperimentResult, preset: RunPreset) -> Non
         preset.scale / 4
     )
 
-    flat_workload = SyntheticWorkload(memory, seed=preset.seed)
-    trace = flat_workload.generate_thread(150_000)
+    trace = generate_trace(memory, 150_000, seed=preset.seed, threads=1)
     flat = simulate_hierarchy(trace, hierarchy, engine="analytic")
 
-    composed_workload = SyntheticWorkload(memory, seed=preset.seed)
-    streams = composed_workload.segment_streams(
+    streams = generate_segment_streams(
+        memory,
         {
             Segment.CODE: 160_000,
             Segment.HEAP: 70_000,
             Segment.SHARD: 45_000,
             Segment.STACK: 25_000,
-        }
+        },
+        seed=preset.seed,
     )
     composed = ComposedHierarchy(streams, rates, hierarchy, threads=1)
     for segment in (Segment.CODE, Segment.HEAP, Segment.SHARD):

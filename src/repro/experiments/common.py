@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro._units import MiB
 from repro.cachesim.composed import ComposedHierarchy
 from repro.cachesim.hierarchy import HierarchyConfig
 from repro.errors import ConfigurationError
-from repro.memtrace.synthetic import SyntheticWorkload
+from repro.memtrace.synthetic import generate_segment_streams
 from repro.memtrace.trace import Segment
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.workloads.profiles import WorkloadProfile, get_profile
@@ -77,6 +78,11 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
     #: Point-in-time metrics of the run (``--metrics-out`` serializes it).
     metrics: MetricsSnapshot | None = None
+    #: Host wall time of the run in seconds, set by the runner.  Kept out
+    #: of :meth:`render` and the metrics snapshot on purpose: timing is
+    #: nondeterministic, and serial vs. parallel runs must stay
+    #: byte-identical.
+    duration_s: float | None = None
 
     def add(self, **row) -> None:
         """Append one result row."""
@@ -123,6 +129,17 @@ class ExperimentResult:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+
+def wall_clock() -> float:
+    """Host wall seconds for runner progress/wall-time gauges.
+
+    The experiment drivers sit outside the deterministic simulation scope;
+    this is the one sanctioned clock for them, and it must never feed a
+    simulated result — only ``ExperimentResult.duration_s`` and the
+    ``repro.experiments.wall_time_ms`` gauge.
+    """
+    return time.perf_counter()  # repro: noqa RPR102 -- runner profiling only
 
 
 def _format_cell(value) -> str:
@@ -173,16 +190,15 @@ def composed_run(
 
     config = platform_hierarchy(platform, preset)
     block_size = config.l1i.geometry.block_size
-    workload = SyntheticWorkload(
-        profile.memory.scaled(preset.scale), seed=preset.seed
-    )
-    streams = workload.segment_streams(
+    streams = generate_segment_streams(
+        profile.memory.scaled(preset.scale),
         {
             Segment.CODE: preset.code_events,
             Segment.HEAP: preset.heap_events,
             Segment.SHARD: preset.shard_events,
             Segment.STACK: preset.stack_events,
         },
+        seed=preset.seed,
         block_size=block_size,
     )
     run = ComposedHierarchy(streams, profile.rates, config, threads=threads)

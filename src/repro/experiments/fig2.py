@@ -13,7 +13,7 @@ from repro.cachesim.prefetch import NextLinePrefetcher, StreamPrefetcher
 from repro.cpu.scaling import CoreScalingModel
 from repro.cpu.smt import SmtModel
 from repro.experiments.common import ExperimentResult, RunPreset, composed_run
-from repro.memtrace.synthetic import SyntheticWorkload
+from repro.memtrace.synthetic import generate_trace
 from repro.workloads.profiles import get_profile
 
 EXPERIMENT_ID = "fig2"
@@ -109,8 +109,9 @@ def huge_page_rows(result: ExperimentResult, preset: RunPreset) -> None:
 def prefetch_rows(result: ExperimentResult, preset: RunPreset) -> None:
     """Figure 2c (right): gain from enabling hardware prefetchers."""
     profile = get_profile("s1-leaf")
-    workload = SyntheticWorkload(profile.memory.scaled(preset.scale), seed=preset.seed)
-    trace = workload.generate(120_000, threads=1)
+    trace = generate_trace(
+        profile.memory.scaled(preset.scale), 120_000, seed=preset.seed, threads=1
+    )
     config = HierarchyConfig.plt1_like().scaled(preset.scale)
 
     base = simulate_hierarchy(trace, config, engine="exact")

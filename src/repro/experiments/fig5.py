@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro._units import GiB
 from repro.experiments.common import ExperimentResult, RunPreset
 from repro.memtrace.stats import working_set_bytes
-from repro.memtrace.synthetic import SyntheticWorkload
+from repro.memtrace.synthetic import generate_trace
 from repro.memtrace.trace import Segment
 from repro.workloads.profiles import get_profile
 
@@ -26,10 +26,12 @@ def working_sets(preset: RunPreset, thread_counts=(1, 2, 4, 8, 16)):
     instructions = max(20_000, preset.heap_events // 80)
     series = {}
     for threads in thread_counts:
-        workload = SyntheticWorkload(
-            profile.memory.scaled(preset.scale), seed=preset.seed
+        trace = generate_trace(
+            profile.memory.scaled(preset.scale),
+            instructions,
+            seed=preset.seed,
+            threads=threads,
         )
-        trace = workload.generate(instructions, threads=threads)
         series[threads] = {
             segment: working_set_bytes(trace.only_segment(segment)) / preset.scale
             for segment in (Segment.HEAP, Segment.SHARD)

@@ -15,7 +15,7 @@ from repro.cachesim.cache import CacheGeometry
 from repro.cachesim.hierarchy import HierarchyConfig, simulate_hierarchy
 from repro.cachesim.missclass import classify_misses
 from repro.experiments.common import ExperimentResult, RunPreset
-from repro.memtrace.synthetic import SyntheticWorkload
+from repro.memtrace.synthetic import generate_trace
 from repro.workloads.profiles import get_profile
 
 EXPERIMENT_ID = "fig7"
@@ -26,8 +26,9 @@ _BLOCK_SIZES = (32, 64, 128, 256, 512, 1024)  # repro: noqa RPR001 -- byte sweep
 
 def _trace(preset: RunPreset, instructions: int):
     profile = get_profile("s1-leaf")
-    workload = SyntheticWorkload(profile.memory.scaled(preset.scale), seed=preset.seed)
-    return workload.generate(instructions, threads=2)
+    return generate_trace(
+        profile.memory.scaled(preset.scale), instructions, seed=preset.seed, threads=2
+    )
 
 
 def associativity_rows(result: ExperimentResult, preset: RunPreset) -> None:

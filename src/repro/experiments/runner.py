@@ -32,6 +32,7 @@ from repro.experiments import (
     table1,
     table2,
 )
+from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentResult, RunPreset
 from repro.obs.metrics import MetricsRegistry
 
@@ -84,19 +85,44 @@ def _fallback_metrics(result: ExperimentResult, preset: RunPreset) -> None:
     result.attach_metrics(registry)
 
 
+def select_modules(only: list[str] | None = None):
+    """The experiment modules to run, in canonical (ALL_MODULES) order.
+
+    Unknown ids raise :class:`ConfigurationError` — silently returning a
+    partial campaign is exactly the failure a repro cannot afford.  So
+    does a duplicated ``EXPERIMENT_ID``, which would otherwise let two
+    modules silently overwrite each other in the metrics document.
+    """
+    by_id: dict[str, object] = {}
+    for module in ALL_MODULES:
+        if module.EXPERIMENT_ID in by_id:
+            raise ConfigurationError(
+                f"duplicate experiment id {module.EXPERIMENT_ID!r} in ALL_MODULES"
+            )
+        by_id[module.EXPERIMENT_ID] = module
+    if not only:
+        return list(ALL_MODULES)
+    unknown = sorted(set(only) - set(by_id))
+    if unknown:
+        raise ConfigurationError(f"unknown experiment ids: {unknown}")
+    wanted = set(only)
+    return [module for module in ALL_MODULES if module.EXPERIMENT_ID in wanted]
+
+
 def run_all(
     preset: RunPreset | None = None, only: list[str] | None = None
 ) -> list[ExperimentResult]:
-    """Run the selected experiments (all by default).
+    """Run the selected experiments (all by default), serially.
 
     Every returned result carries a metrics snapshot: the experiment's
     own when it attached one, else a minimal run-shape fallback.
+    Unknown ids in ``only`` raise :class:`ConfigurationError` (they used
+    to be silently dropped, returning a partial list).  For multi-process
+    campaigns and trace caching see :mod:`repro.experiments.parallel`.
     """
     preset = preset or RunPreset.quick()
     results = []
-    for module in ALL_MODULES:
-        if only and module.EXPERIMENT_ID not in only:
-            continue
+    for module in select_modules(only):
         result = module.run(preset)
         if result.metrics is None:
             _fallback_metrics(result, preset)
@@ -108,15 +134,20 @@ def write_metrics(results: list[ExperimentResult], path: str) -> None:
     """Serialize every result's metrics snapshot to one JSON document.
 
     The document maps experiment id to ``{"title", "metrics"}`` and is
-    what ``python -m repro.obs.report`` renders.
+    what ``python -m repro.obs.report`` renders.  Two results sharing an
+    experiment id raise :class:`ConfigurationError` instead of silently
+    overwriting each other in the keyed document.
     """
-    document = {
-        result.experiment_id: {
+    document: dict[str, dict] = {}
+    for result in results:
+        if result.experiment_id in document:
+            raise ConfigurationError(
+                f"duplicate experiment id {result.experiment_id!r} in results"
+            )
+        document[result.experiment_id] = {
             "title": result.title,
             "metrics": result.metrics.to_dict() if result.metrics else {},
         }
-        for result in results
-    }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -153,6 +184,21 @@ def main(argv: list[str] | None = None) -> int:
         help="write every experiment's metrics snapshot to a JSON file "
         "(render with `python -m repro.obs.report PATH`)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments across N worker processes (default: 1, "
+        "serial); output is byte-identical either way",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed artifact cache for generated traces; "
+        "warm reruns skip synthetic-trace generation",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -161,13 +207,22 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     preset = RunPreset.standard() if args.standard else RunPreset.quick()
-    known = {module.EXPERIMENT_ID for module in ALL_MODULES}
-    unknown = set(args.ids) - known
-    if unknown:
-        parser.error(f"unknown experiment ids: {sorted(unknown)}")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    from repro.experiments.parallel import run_report
 
     start = time.time()
-    results = run_all(preset, only=args.ids or None)
+    try:
+        report = run_report(
+            preset,
+            only=args.ids or None,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    results = report.results
     for result in results:
         print(result.render())
         if args.charts:
@@ -179,7 +234,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.metrics_out:
         write_metrics(results, args.metrics_out)
         print(f"[metrics snapshot written to {args.metrics_out}]")
-    print(f"[{preset.name} preset, {time.time() - start:.1f}s]")
+    if args.cache_dir:
+        stats = report.cache_stats()
+        print(
+            f"[cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['bytes_read']} B read, {stats['bytes_written']} B written]"
+        )
+    jobs_note = f", {args.jobs} jobs" if args.jobs > 1 else ""
+    print(f"[{preset.name} preset{jobs_note}, {time.time() - start:.1f}s]")
     return 0
 
 

@@ -15,9 +15,12 @@ from repro.memtrace.synthetic import (
     StackModel,
     SyntheticWorkload,
     WorkloadConfig,
+    generate_segment_streams,
+    generate_trace,
 )
+from repro.memtrace.cache import ArtifactCache, artifact_key
 from repro.memtrace.interleave import interleave_round_robin
-from repro.memtrace.io import load_trace, save_trace
+from repro.memtrace.io import load_arrays, load_trace, save_arrays, save_trace
 from repro.memtrace.stats import (
     footprint_bytes,
     reuse_times,
@@ -37,9 +40,15 @@ __all__ = [
     "StackModel",
     "SyntheticWorkload",
     "WorkloadConfig",
+    "generate_segment_streams",
+    "generate_trace",
+    "ArtifactCache",
+    "artifact_key",
     "interleave_round_robin",
     "save_trace",
     "load_trace",
+    "save_arrays",
+    "load_arrays",
     "footprint_bytes",
     "reuse_times",
     "unique_lines",

@@ -5,6 +5,15 @@ time; persisting them as compressed ``.npz`` bundles lets experiment
 campaigns and notebooks reuse collections, the way the paper reuses its Pin
 trace collections across analyses ("results are qualitatively similar over
 multiple such collections", §III-A).
+
+Two layers live here:
+
+* :func:`save_trace` / :func:`load_trace` — the :class:`Trace` bundle
+  format used by notebooks and the CLI tools.
+* :func:`save_arrays` / :func:`load_arrays` — the generic versioned
+  array-bundle format underneath it, which
+  :mod:`repro.memtrace.cache` uses to persist arbitrary artifacts
+  (per-segment line streams, traces) content-addressed by key.
 """
 
 from __future__ import annotations
@@ -21,52 +30,98 @@ from repro.memtrace.trace import Trace
 FORMAT_VERSION = 1
 
 
-def save_trace(trace: Trace, path: str | Path, **metadata) -> Path:
-    """Write a trace (plus optional JSON-able metadata) to ``path``.
-
-    The suffix ``.npz`` is appended when missing.  Returns the final path.
-    """
+def _normalize_path(path: str | Path) -> Path:
+    """Append ``.npz`` unless the path already carries it (any case)."""
     path = Path(path)
-    if path.suffix != ".npz":
+    if path.suffix.lower() != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def save_arrays(arrays: dict[str, np.ndarray], path: str | Path, **metadata) -> Path:
+    """Write named arrays (plus JSON-able metadata) as a versioned bundle.
+
+    The suffix ``.npz`` is appended when missing (case-insensitively, so
+    ``leaf.NPZ`` is left alone).  Returns the final path.  A missing
+    parent directory or other filesystem failure raises
+    :class:`TraceError`, not a raw ``OSError``.
+    """
+    path = _normalize_path(path)
+    if "header" in arrays:
+        raise TraceError("array name 'header' is reserved for the bundle header")
     try:
         header = json.dumps(
             {"version": FORMAT_VERSION, "metadata": metadata}, sort_keys=True
         )
     except TypeError as exc:
         raise TraceError(f"metadata must be JSON-serializable: {exc}") from exc
-    np.savez_compressed(
-        path,
-        addr=trace.addr,
-        kind=trace.kind,
-        segment=trace.segment,
-        thread=trace.thread,
-        instruction_count=np.int64(trace.instruction_count),
-        header=np.frombuffer(header.encode(), np.uint8),
-    )
+    try:
+        # Write through an explicit handle: ``np.savez_compressed`` appends
+        # its own (case-sensitive) ``.npz`` to bare paths, which would turn
+        # ``t.NPZ`` into ``t.NPZ.npz`` behind our back.
+        with open(path, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                header=np.frombuffer(header.encode(), np.uint8),
+                **arrays,
+            )
+    except OSError as exc:
+        raise TraceError(f"cannot write bundle {path}: {exc}") from exc
     return path
 
 
-def load_trace(path: str | Path) -> tuple[Trace, dict]:
-    """Read a trace bundle; returns ``(trace, metadata)``."""
+def load_arrays(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a bundle written by :func:`save_arrays`.
+
+    Returns ``(arrays, metadata)``; the version in the header must match
+    :data:`FORMAT_VERSION`.
+    """
     path = Path(path)
     if not path.exists():
         raise TraceError(f"no trace bundle at {path}")
     with np.load(path) as bundle:
         try:
             header = json.loads(bytes(bundle["header"]).decode())
-            trace = Trace(
-                addr=bundle["addr"],
-                kind=bundle["kind"],
-                segment=bundle["segment"],
-                thread=bundle["thread"],
-                instruction_count=int(bundle["instruction_count"]),
-            )
         except KeyError as exc:
             raise TraceError(f"{path} is not a trace bundle: missing {exc}") from exc
+        arrays = {name: bundle[name] for name in bundle.files if name != "header"}
     if header.get("version") != FORMAT_VERSION:
         raise TraceError(
             f"{path} has format version {header.get('version')}; "
             f"this library reads version {FORMAT_VERSION}"
         )
-    return trace, header.get("metadata", {})
+    return arrays, header.get("metadata", {})
+
+
+def save_trace(trace: Trace, path: str | Path, **metadata) -> Path:
+    """Write a trace (plus optional JSON-able metadata) to ``path``.
+
+    The suffix ``.npz`` is appended when missing.  Returns the final path.
+    """
+    return save_arrays(
+        {
+            "addr": trace.addr,
+            "kind": trace.kind,
+            "segment": trace.segment,
+            "thread": trace.thread,
+            "instruction_count": np.int64(trace.instruction_count),
+        },
+        path,
+        **metadata,
+    )
+
+
+def load_trace(path: str | Path) -> tuple[Trace, dict]:
+    """Read a trace bundle; returns ``(trace, metadata)``."""
+    arrays, metadata = load_arrays(path)
+    try:
+        trace = Trace(
+            addr=arrays["addr"],
+            kind=arrays["kind"],
+            segment=arrays["segment"],
+            thread=arrays["thread"],
+            instruction_count=int(arrays["instruction_count"]),
+        )
+    except KeyError as exc:
+        raise TraceError(f"{path} is not a trace bundle: missing {exc}") from exc
+    return trace, metadata

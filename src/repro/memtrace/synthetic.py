@@ -25,6 +25,7 @@ shape of every miss-ratio curve.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,6 +39,9 @@ from repro.memtrace.sampling import (
     sequential_runs,
 )
 from repro.memtrace.trace import AccessKind, Segment, Trace
+
+if TYPE_CHECKING:  # runtime import stays inside the generators (cycle)
+    from repro.memtrace.cache import ArtifactCache
 
 _LINE = 64  # generator-internal line granularity (bytes)
 
@@ -335,6 +339,124 @@ class StackModel:
         depth = np.minimum(depth, self._window - self._frame)
         offsets = self._rng.integers(0, max(1, self._frame // 8), n_events) * 8
         return self._base + depth + offsets
+
+
+# ----------------------------------------------------------------------
+# Cache-aware generation entry points
+# ----------------------------------------------------------------------
+#
+# These module-level functions are the preferred way for experiment code
+# to obtain streams and traces: given the same ``(config, seed, request)``
+# they return byte-identical arrays whether generated fresh or loaded
+# from the active :class:`~repro.memtrace.cache.ArtifactCache`, so warm
+# reruns skip generation entirely without perturbing results.
+
+
+def generate_segment_streams(
+    config: WorkloadConfig,
+    events: dict[Segment, int],
+    seed: int,
+    block_size: int = 64,
+    thread_id: int = 0,
+    cache: "ArtifactCache | None" = None,
+) -> dict[Segment, np.ndarray]:
+    """Per-segment line streams for ``config``, via the artifact cache.
+
+    Equivalent to ``SyntheticWorkload(config, seed=seed).segment_streams(
+    events, thread_id, block_size)`` — a freshly constructed workload, so
+    the RNG stream (and therefore the output) is a pure function of the
+    arguments.  When a cache is supplied (or active), a prior identical
+    request is loaded from disk instead of regenerated.
+    """
+    from repro.memtrace import cache as cache_mod
+
+    cache = cache if cache is not None else cache_mod.active_cache()
+    key = None
+    if cache is not None:
+        key = cache_mod.artifact_key(
+            "segment-streams",
+            config=cache_mod.workload_identity(config),
+            seed=seed,
+            events=[[segment.name, int(count)] for segment, count in events.items()],
+            block_size=block_size,
+            thread_id=thread_id,
+        )
+        arrays = cache.load(key, "streams")
+        if arrays is not None:
+            return {
+                segment: arrays[segment.name]
+                for segment in events
+                if segment.name in arrays
+            }
+    workload = SyntheticWorkload(config, seed=seed)
+    streams = workload.segment_streams(events, thread_id, block_size)
+    if cache is not None:
+        cache.store(
+            key,
+            "streams",
+            {segment.name: stream for segment, stream in streams.items()},
+            seed=seed,
+        )
+    return streams
+
+
+def generate_trace(
+    config: WorkloadConfig,
+    instructions_per_thread: int,
+    seed: int,
+    threads: int = 1,
+    cache: "ArtifactCache | None" = None,
+) -> Trace:
+    """An interleaved multi-thread trace for ``config``, via the cache.
+
+    Equivalent to ``SyntheticWorkload(config, seed=seed).generate(
+    instructions_per_thread, threads)`` with the same cache semantics as
+    :func:`generate_segment_streams`.
+    """
+    from repro.memtrace import cache as cache_mod
+
+    cache = cache if cache is not None else cache_mod.active_cache()
+    key = None
+    if cache is not None:
+        key = cache_mod.artifact_key(
+            "trace",
+            config=cache_mod.workload_identity(config),
+            seed=seed,
+            instructions_per_thread=instructions_per_thread,
+            threads=threads,
+        )
+        arrays = cache.load(key, "trace")
+        if arrays is not None and {
+            "addr",
+            "kind",
+            "segment",
+            "thread",
+            "instruction_count",
+        } <= set(arrays):
+            return Trace(
+                addr=arrays["addr"],
+                kind=arrays["kind"],
+                segment=arrays["segment"],
+                thread=arrays["thread"],
+                instruction_count=int(arrays["instruction_count"]),
+            )
+    trace = SyntheticWorkload(config, seed=seed).generate(
+        instructions_per_thread, threads
+    )
+    if cache is not None:
+        cache.store(
+            key,
+            "trace",
+            {
+                "addr": trace.addr,
+                "kind": trace.kind,
+                "segment": trace.segment,
+                "thread": trace.thread,
+                "instruction_count": np.int64(trace.instruction_count),
+            },
+            seed=seed,
+        )
+    return trace
 
 
 class SyntheticWorkload:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import bisect
 import json
 import math
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from repro.errors import ConfigurationError
 
@@ -607,12 +607,32 @@ class MetricsSnapshot:
                 out[name] = payload
         return MetricsSnapshot(out)
 
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        """A snapshot with no metrics (the identity of :meth:`merge`)."""
+        return cls({})
+
+    @classmethod
+    def merge_all(cls, snapshots: "Iterable[MetricsSnapshot]") -> "MetricsSnapshot":
+        """Fold :meth:`merge` over any number of sibling snapshots.
+
+        The cross-process aggregation entry point: a parallel experiment
+        runner collects one snapshot per worker task and merges them in
+        canonical task order, so the combined document is independent of
+        completion order.  An empty iterable yields :meth:`empty`.
+        """
+        merged = cls.empty()
+        for snapshot in snapshots:
+            merged = merged.merge(snapshot)
+        return merged
+
     def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         """Combine two sibling snapshots into one.
 
         Counters and histogram buckets add; for gauges ``other`` wins
-        (documented, deterministic).  Metrics present in only one operand
-        pass through.
+        per value while labeled children union (again ``other`` wins on
+        collisions — documented, deterministic).  Metrics present in only
+        one operand pass through.
         """
         out: dict[str, dict] = dict(self._payload)
         for name, payload in other._payload.items():
@@ -647,6 +667,17 @@ class MetricsSnapshot:
                     merged["max"] = max(mine["max"], payload["max"])
                 elif mine.get("count"):
                     merged["min"], merged["max"] = mine["min"], mine["max"]
+                out[name] = merged
+            elif kind == "gauge":
+                merged = dict(payload)
+                if "children" in mine or "children" in payload:
+                    # Union the children: a fleet's per-shard (or a run's
+                    # per-experiment) gauges usually live in disjoint
+                    # snapshots, and losing them on merge would make
+                    # cross-process aggregation lossy.
+                    children = dict(mine.get("children", {}))
+                    children.update(payload.get("children", {}))
+                    merged["children"] = children
                 out[name] = merged
             else:
                 out[name] = payload

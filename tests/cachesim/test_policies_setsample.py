@@ -103,6 +103,31 @@ class TestSetSampling:
         estimate = sampled_hit_rate(lines, geometry, sample_fraction=1.0)
         assert estimate.hit_rate == pytest.approx(exact, abs=1e-12)
 
+    def test_fraction_rounds_half_up(self):
+        """Regression: 48 sets * 1/3 truncated to 15 sampled sets, not 16."""
+        geometry = CacheGeometry(12 * KiB, 4)  # 48 sets
+        estimate = sampled_hit_rate(
+            zipf_lines(5000), geometry, sample_fraction=1 / 3
+        )
+        assert estimate.sampled_sets == 16
+
+    def test_near_full_fraction_samples_every_set(self):
+        geometry = CacheGeometry(8 * KiB, 4)
+        estimate = sampled_hit_rate(
+            zipf_lines(2000), geometry, sample_fraction=0.999
+        )
+        assert estimate.sampled_sets == geometry.num_sets
+
+    def test_full_sample_reproduces_exact_hit_count(self):
+        """sample_fraction=1.0 is not an estimate: same hits, same accesses."""
+        lines = zipf_lines(8000, pool=500)
+        geometry = CacheGeometry(8 * KiB, 4)
+        exact_hits = int(SetAssociativeCache(geometry).simulate(lines).sum())
+        estimate = sampled_hit_rate(lines, geometry, sample_fraction=1.0)
+        assert estimate.sampled_sets == geometry.num_sets
+        assert estimate.sampled_accesses == len(lines)
+        assert estimate.sampled_hits == exact_hits
+
     def test_validation(self):
         geometry = CacheGeometry(8 * KiB, 4)
         with pytest.raises(ConfigurationError):

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments import runner
+from repro.experiments.common import ExperimentResult
 
 
 class TestRunAll:
@@ -10,6 +12,15 @@ class TestRunAll:
         results = runner.run_all(only=["table2"])
         assert len(results) == 1
         assert results[0].experiment_id == "table2"
+
+    def test_unknown_only_id_raises(self):
+        """Regression: unknown ids were silently dropped (partial runs)."""
+        with pytest.raises(ConfigurationError, match="fig99"):
+            runner.run_all(only=["table2", "fig99"])
+
+    def test_select_modules_canonical_order(self):
+        modules = runner.select_modules(["fig4", "table2"])
+        assert [m.EXPERIMENT_ID for m in modules] == ["table2", "fig4"]
 
     def test_all_modules_have_interface(self):
         for module in runner.ALL_MODULES:
@@ -41,3 +52,17 @@ class TestCli:
         assert runner.main(["--charts", "fig8"]) == 0
         out = capsys.readouterr().out
         assert "fig8" in out
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--jobs", "0", "table2"])
+
+
+class TestWriteMetrics:
+    def test_duplicate_ids_rejected(self, tmp_path):
+        results = [
+            ExperimentResult("fig4", "one"),
+            ExperimentResult("fig4", "two"),
+        ]
+        with pytest.raises(ConfigurationError, match="fig4"):
+            runner.write_metrics(results, str(tmp_path / "m.json"))

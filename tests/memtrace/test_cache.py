@@ -1,0 +1,156 @@
+"""Tests for the content-addressed artifact cache."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.memtrace import cache as cache_mod
+from repro.memtrace.cache import ArtifactCache, artifact_key, workload_identity
+from repro.memtrace.synthetic import (
+    WorkloadConfig,
+    generate_segment_streams,
+    generate_trace,
+)
+from repro.memtrace.trace import Segment
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def config():
+    return WorkloadConfig().scaled(1 / 256)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "artifacts")
+
+
+class TestArtifactKey:
+    def test_argument_order_independent(self):
+        assert artifact_key("t", a=1, b=2) == artifact_key("t", b=2, a=1)
+
+    def test_distinct_identity_distinct_key(self, config):
+        base = artifact_key("t", config=workload_identity(config), seed=1)
+        assert base != artifact_key("t", config=workload_identity(config), seed=2)
+        assert base != artifact_key("u", config=workload_identity(config), seed=1)
+
+    def test_config_change_invalidates(self, config):
+        other = config.scaled(1 / 2)
+        assert artifact_key("t", config=workload_identity(config)) != artifact_key(
+            "t", config=workload_identity(other)
+        )
+
+    def test_format_version_invalidates(self, monkeypatch):
+        before = artifact_key("t", seed=7)
+        monkeypatch.setattr(cache_mod, "FORMAT_VERSION", cache_mod.FORMAT_VERSION + 1)
+        assert artifact_key("t", seed=7) != before
+
+    def test_unserializable_identity_rejected(self):
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError):
+            artifact_key("t", payload=object())
+
+    def test_stable_across_processes(self, config):
+        """The key is a pure content hash: a fresh interpreter agrees."""
+        local = artifact_key("t", config=workload_identity(config), seed=3)
+        script = (
+            "from repro.memtrace.cache import artifact_key, workload_identity\n"
+            "from repro.memtrace.synthetic import WorkloadConfig\n"
+            "config = WorkloadConfig().scaled(1 / 256)\n"
+            "print(artifact_key('t', config=workload_identity(config), seed=3))\n"
+        )
+        env = dict(os.environ, PYTHONPATH=_SRC)
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.strip()
+        assert remote == local
+
+
+class TestArtifactCache:
+    def test_roundtrip(self, cache):
+        arrays = {"a": np.arange(5, dtype=np.int64), "b": np.ones(3)}
+        key = artifact_key("t", seed=0)
+        cache.store(key, "t", arrays)
+        loaded = cache.load(key, "t")
+        assert set(loaded) == {"a", "b"}
+        assert (loaded["a"] == arrays["a"]).all()
+        assert (loaded["b"] == arrays["b"]).all()
+        assert len(cache) == 1
+
+    def test_missing_key_is_miss(self, cache):
+        assert cache.load(artifact_key("t", seed=1), "t") is None
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 0
+
+    def test_corrupt_bundle_is_miss(self, cache):
+        key = artifact_key("t", seed=2)
+        cache.path_for(key).write_bytes(b"not an npz bundle")
+        assert cache.load(key, "t") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_counters_track_traffic(self, cache):
+        key = artifact_key("t", seed=0)
+        cache.store(key, "t", {"a": np.arange(100)})
+        cache.load(key, "t")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["bytes_written"] > 0
+        assert stats["bytes_read"] == stats["bytes_written"]
+
+    def test_bad_cache_dir_rejected(self, tmp_path):
+        from repro.errors import TraceError
+
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(TraceError):
+            ArtifactCache(blocker / "cache")
+
+
+class TestActiveCache:
+    def test_activate_returns_previous(self, cache):
+        previous = cache_mod.activate(cache)
+        try:
+            assert cache_mod.active_cache() is cache
+        finally:
+            cache_mod.activate(previous)
+        assert cache_mod.active_cache() is previous
+
+
+class TestCachedGeneration:
+    def test_streams_warm_equals_cold(self, config, cache):
+        events = {Segment.CODE: 4000, Segment.HEAP: 3000}
+        cold = generate_segment_streams(config, events, seed=5, cache=cache)
+        warm = generate_segment_streams(config, events, seed=5, cache=cache)
+        fresh = generate_segment_streams(config, events, seed=5)
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+        for segment in events:
+            assert (cold[segment] == warm[segment]).all()
+            assert (cold[segment] == fresh[segment]).all()
+
+    def test_trace_warm_equals_cold(self, config, cache):
+        cold = generate_trace(config, 5000, seed=5, threads=2, cache=cache)
+        warm = generate_trace(config, 5000, seed=5, threads=2, cache=cache)
+        fresh = generate_trace(config, 5000, seed=5, threads=2)
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+        for loaded in (warm, fresh):
+            assert (cold.addr == loaded.addr).all()
+            assert (cold.kind == loaded.kind).all()
+            assert (cold.segment == loaded.segment).all()
+            assert (cold.thread == loaded.thread).all()
+            assert cold.instruction_count == loaded.instruction_count
+
+    def test_different_request_different_entry(self, config, cache):
+        generate_trace(config, 5000, seed=5, cache=cache)
+        generate_trace(config, 5000, seed=6, cache=cache)
+        assert cache.stats()["misses"] == 2
+        assert len(cache) == 2

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import TraceError
-from repro.memtrace.io import load_trace, save_trace
+from repro.memtrace.io import load_arrays, load_trace, save_arrays, save_trace
 from repro.memtrace.synthetic import SyntheticWorkload, WorkloadConfig
 from repro.memtrace.trace import Trace
 
@@ -52,3 +52,37 @@ class TestRoundtrip:
         np.savez(path, something=np.arange(3))
         with pytest.raises(TraceError):
             load_trace(path)
+
+    def test_uppercase_suffix_respected(self, trace, tmp_path):
+        """Regression: ``t.NPZ`` used to come back as ``t.NPZ.npz``."""
+        path = save_trace(trace, tmp_path / "t.NPZ")
+        assert path == tmp_path / "t.NPZ"
+        loaded, __ = load_trace(path)
+        assert (loaded.addr == trace.addr).all()
+
+    def test_missing_parent_dir_raises_trace_error(self, trace, tmp_path):
+        """Regression: a missing parent surfaced as a raw ``OSError``."""
+        with pytest.raises(TraceError, match="cannot write"):
+            save_trace(trace, tmp_path / "no" / "such" / "dir" / "t")
+
+
+class TestArrayBundles:
+    def test_roundtrip_with_metadata(self, tmp_path):
+        arrays = {"xs": np.arange(7, dtype=np.int64), "ys": np.ones(2)}
+        path = save_arrays(arrays, tmp_path / "bundle", kind="streams")
+        loaded, metadata = load_arrays(path)
+        assert metadata == {"kind": "streams"}
+        assert (loaded["xs"] == arrays["xs"]).all()
+        assert (loaded["ys"] == arrays["ys"]).all()
+
+    def test_header_name_reserved(self, tmp_path):
+        with pytest.raises(TraceError, match="header"):
+            save_arrays({"header": np.arange(3)}, tmp_path / "bundle")
+
+    def test_version_mismatch_rejected(self, tmp_path, monkeypatch):
+        from repro.memtrace import io as io_mod
+
+        path = save_arrays({"xs": np.arange(3)}, tmp_path / "bundle")
+        monkeypatch.setattr(io_mod, "FORMAT_VERSION", io_mod.FORMAT_VERSION + 1)
+        with pytest.raises(TraceError, match="format version"):
+            load_arrays(path)

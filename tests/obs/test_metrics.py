@@ -286,3 +286,27 @@ class TestMetricsSnapshot:
         merged = a.merge(b)
         assert merged.value("only.a") == 1
         assert merged.value("only.b") == 2
+
+    def test_merge_unions_gauge_children(self):
+        """Per-task gauge children (e.g. wall-time per experiment) survive."""
+
+        def labeled(experiment, ms):
+            registry = MetricsRegistry()
+            registry.gauge("repro.test.wall").labels(experiment=experiment).set(ms)
+            return registry.snapshot()
+
+        merged = labeled("fig4", 12.0).merge(labeled("table2", 7.0))
+        children = merged.payload("repro.test.wall")["children"]
+        assert children == {"{experiment=fig4}": 12.0, "{experiment=table2}": 7.0}
+
+    def test_empty_snapshot(self):
+        empty = MetricsSnapshot.empty()
+        assert empty.to_dict() == {}
+        assert "anything" not in empty
+
+    def test_merge_all_folds_in_order(self):
+        parts = [
+            MetricsSnapshot({"m": {"type": "counter", "value": v}}) for v in (1, 2, 4)
+        ]
+        assert MetricsSnapshot.merge_all(parts).value("m") == 7
+        assert MetricsSnapshot.merge_all([]).to_dict() == {}
