@@ -10,10 +10,33 @@ Two engines implement the paper's methodology (§III-A):
   pass, plus a vectorized exact direct-mapped engine for the L4.  Used for
   the GiB-scale capacity sweeps, where the paper shows conflict misses are
   negligible (Figure 7a).
+
+On top of these, :mod:`repro.cachesim.fastsim` provides NumPy-vectorized
+kernels for the *exact* engine behind an explicit selection API: entry
+points throughout this package take ``engine="reference" | "fast" |
+"auto"`` and are bit-identical between engines (the differential suite in
+``tests/cachesim/test_fastsim_differential.py`` is the contract).
 """
 
 from repro.cachesim.cache import CacheGeometry, SetAssociativeCache
 from repro.cachesim.directmapped import simulate_direct_mapped
+from repro.cachesim.fastsim import (
+    CASCADE_MAX_WAYS,
+    ENGINES,
+    FastSetAssociativeCache,
+    fast_direct_mapped_hits,
+    fast_lru_hits,
+    fast_lru_hits_for_sets,
+    fast_stack_distances,
+    resolve_engine,
+)
+from repro.cachesim.indexing import (
+    block_shift,
+    line_of_addr,
+    lines_of_addrs,
+    set_index,
+    set_indices,
+)
 from repro.cachesim.mattson import (
     hit_rate_for_capacities,
     stack_distances,
@@ -32,6 +55,19 @@ from repro.cachesim.missclass import classify_misses, MissBreakdown
 __all__ = [
     "CacheGeometry",
     "SetAssociativeCache",
+    "CASCADE_MAX_WAYS",
+    "ENGINES",
+    "FastSetAssociativeCache",
+    "fast_direct_mapped_hits",
+    "fast_lru_hits",
+    "fast_lru_hits_for_sets",
+    "fast_stack_distances",
+    "resolve_engine",
+    "block_shift",
+    "line_of_addr",
+    "lines_of_addrs",
+    "set_index",
+    "set_indices",
     "simulate_direct_mapped",
     "stack_distances",
     "hit_rate_for_capacities",

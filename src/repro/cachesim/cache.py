@@ -185,12 +185,24 @@ class SetAssociativeCache:
 
     # ------------------------------------------------------------------
 
-    def simulate(self, lines: np.ndarray) -> np.ndarray:
+    def simulate(self, lines: np.ndarray, engine: str = "reference") -> np.ndarray:
         """Simulate a line stream; return a boolean hit array.
 
-        A tight-loop version of :meth:`access` for bulk simulation — same
-        semantics, minus eviction reporting.
+        Same semantics as repeated :meth:`access` calls (minus eviction
+        reporting), continuing from — and updating — the current cache
+        state.  ``engine`` selects the implementation: ``"reference"`` is
+        the per-access loop below; ``"fast"``/``"auto"`` route LRU
+        simulations through the vectorized kernels of
+        :mod:`repro.cachesim.fastsim` (bit-identical; non-LRU policies
+        fall back under ``"auto"`` and raise under ``"fast"``).
         """
+        from repro.cachesim import fastsim
+
+        resolved = fastsim.resolve_engine(
+            engine, fast_supported=self.replacement == "lru"
+        )
+        if resolved == "fast":
+            return self._simulate_fast(lines)
         if self.replacement != "lru":
             hits = np.empty(len(lines), bool)
             for i, line in enumerate(lines.tolist()):
@@ -211,4 +223,29 @@ class SetAssociativeCache:
                 if len(cache_set) > ways:
                     del cache_set[0]
                 hits[i] = False
+        return hits
+
+    def _simulate_fast(self, lines: np.ndarray) -> np.ndarray:
+        """Vectorized LRU batch replay that keeps ``_sets`` in sync."""
+        from itertools import chain
+
+        from repro.cachesim import fastsim
+
+        if len(lines) == 0:
+            return np.empty(0, bool)
+        warm = np.fromiter(
+            chain.from_iterable(self._sets), np.int64, count=self.resident_lines
+        )
+        hits, (set_idx, tags, ranks, __) = fastsim.lru_batch(
+            np.asarray(lines).astype(np.int64, copy=False),
+            self._num_sets,
+            self._ways,
+            warm=warm,
+        )
+        # Rebuild the per-set lists oldest-to-newest (rank 0 is the MRU).
+        order = np.lexsort((-ranks, set_idx))
+        new_sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        for s, line in zip(set_idx[order].tolist(), tags[order].tolist()):
+            new_sets[s].append(line)
+        self._sets = new_sets
         return hits

@@ -80,6 +80,10 @@ class ComposedHierarchy:
         Cache hierarchy; all levels must share one block size.
     threads:
         Hardware threads sharing the L3.
+    engine:
+        Window-solver engine for every composed level, passed through to
+        :class:`~repro.cachesim.composition.CompositeCache`
+        (``"reference"`` | ``"fast"`` | ``"auto"``; all bit-identical).
     """
 
     def __init__(
@@ -88,6 +92,7 @@ class ComposedHierarchy:
         rates: SegmentRates,
         config: HierarchyConfig,
         threads: int = 1,
+        engine: str = "reference",
     ) -> None:
         if threads < 1:
             raise ConfigurationError(f"threads must be >= 1, got {threads}")
@@ -106,13 +111,16 @@ class ComposedHierarchy:
         self.rates = rates
         self.config = config
         self.threads = threads
+        self.engine = engine
         self.block_size = blocks.pop()
 
         # ---- L1-I: code alone -------------------------------------------
         code = StreamComponent(
             "code", streams[Segment.CODE], rate=rates.code
         )
-        self.l1i = CompositeCache([code], config.l1i.geometry.capacity_lines)
+        self.l1i = CompositeCache(
+            [code], config.l1i.geometry.capacity_lines, engine=engine
+        )
 
         # ---- L1-D: data segments ----------------------------------------
         data_components = [
@@ -124,7 +132,7 @@ class ComposedHierarchy:
                 StreamComponent("stack", streams[Segment.STACK], rate=rates.stack)
             )
         self.l1d = CompositeCache(
-            data_components, config.l1d.geometry.capacity_lines
+            data_components, config.l1d.geometry.capacity_lines, engine=engine
         )
 
         # ---- L2: both L1s' misses ----------------------------------------
@@ -142,7 +150,9 @@ class ComposedHierarchy:
         ]
         if not l2_components:
             raise ConfigurationError("nothing missed the L1s; enlarge the streams")
-        self.l2 = CompositeCache(l2_components, config.l2.geometry.capacity_lines)
+        self.l2 = CompositeCache(
+            l2_components, config.l2.geometry.capacity_lines, engine=engine
+        )
 
         # ---- L3 inputs: all threads' L2 misses ----------------------------
         self._l3_inputs: list[StreamComponent] = []
@@ -167,7 +177,9 @@ class ComposedHierarchy:
 
         self.l3 = (
             CompositeCache(
-                self._l3_inputs, config.l3.geometry.capacity_lines
+                self._l3_inputs,
+                config.l3.geometry.capacity_lines,
+                engine=engine,
             )
             if config.l3 is not None
             else None
@@ -246,7 +258,7 @@ class ComposedHierarchy:
     def l3_at(self, capacity_bytes: int) -> CompositeCache:
         """Re-solve the shared L3 at another capacity (cheap)."""
         lines = max(1, capacity_bytes // self.block_size)
-        return CompositeCache(self._l3_inputs, lines)
+        return CompositeCache(self._l3_inputs, lines, engine=self.engine)
 
     def l3_hit_rate(self, capacity_bytes: int, segment: Segment | None = None) -> float:
         """Overall (rate-weighted) or per-segment L3 hit rate at a capacity."""

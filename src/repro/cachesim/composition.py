@@ -82,12 +82,60 @@ class StreamComponent:
         )
 
 
+def solve_windows(
+    components: list[StreamComponent],
+    capacities_lines: np.ndarray | list[int],
+) -> np.ndarray:
+    """Solve the composition window for many capacities in lockstep.
+
+    The vectorized counterpart of :meth:`CompositeCache._solve_window`:
+    every capacity follows exactly the scalar bisection recurrence (same
+    full-fit early-out, same 60 midpoint steps, same float64 arithmetic,
+    components accumulated in the same order), so each solved window is
+    bit-identical to a scalar solve at that capacity.
+    """
+    if not components:
+        raise ConfigurationError("need at least one stream component")
+    caps = np.asarray(capacities_lines, np.float64)
+    if len(caps) == 0:
+        return np.empty(0, np.float64)
+    max_window = max(len(c.lines) / c.rate for c in components)
+
+    def combined(windows: np.ndarray) -> np.ndarray:
+        total: np.ndarray | None = None
+        for c in components:
+            term = c.multiplicity * c.curve.footprints_clamped(c.rate * windows)
+            total = term if total is None else total + term
+        assert total is not None
+        return total
+
+    fits = combined(np.full(caps.shape, max_window)) <= caps
+    lo = np.zeros(caps.shape, np.float64)
+    hi = np.full(caps.shape, max_window, np.float64)
+    for __ in range(60):
+        mid = (lo + hi) / 2.0
+        le = combined(mid) <= caps
+        lo = np.where(le, mid, lo)
+        hi = np.where(le, hi, mid)
+    return np.where(fits, max_window, lo)
+
+
 class CompositeCache:
-    """A shared LRU cache serving several concurrent streams."""
+    """A shared LRU cache serving several concurrent streams.
+
+    ``engine`` selects the window solver: ``"reference"`` is the scalar
+    bisection, ``"fast"``/``"auto"`` route through the lockstep batch
+    solver :func:`solve_windows` (bit-identical by construction).
+    """
 
     def __init__(
-        self, components: list[StreamComponent], capacity_lines: int
+        self,
+        components: list[StreamComponent],
+        capacity_lines: int,
+        engine: str = "reference",
     ) -> None:
+        from repro.cachesim import fastsim
+
         if not components:
             raise ConfigurationError("need at least one stream component")
         names = [c.name for c in components]
@@ -97,7 +145,13 @@ class CompositeCache:
             raise ConfigurationError("capacity_lines must be positive")
         self.components = {c.name: c for c in components}
         self.capacity_lines = capacity_lines
-        self._window = self._solve_window()
+        self.engine = engine
+        if fastsim.resolve_engine(engine) == "fast":
+            self._window = float(
+                solve_windows(components, [capacity_lines])[0]
+            )
+        else:
+            self._window = self._solve_window()
 
     # ------------------------------------------------------------------
 

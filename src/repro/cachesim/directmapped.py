@@ -8,16 +8,25 @@ the same set" becomes "previous element in my group".
 
 This makes 8-point GiB-scale L4 capacity sweeps (Figure 13) take seconds
 instead of the minutes a per-access Python loop would need.
+
+Two engines: ``"reference"`` sorts the whole stream at once (this module);
+``"fast"`` is the chunked gather/compare/scatter kernel
+(:func:`repro.cachesim.fastsim.fast_direct_mapped_hits`) that bounds peak
+memory on GiB-scale streams by carrying a dense tag array across chunks.
+Both are exact and bit-identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cachesim.indexing import set_indices
 from repro.errors import ConfigurationError
 
 
-def simulate_direct_mapped(lines: np.ndarray, num_sets: int) -> np.ndarray:
+def simulate_direct_mapped(
+    lines: np.ndarray, num_sets: int, engine: str = "reference"
+) -> np.ndarray:
     """Exactly simulate a direct-mapped cache over a line stream.
 
     Parameters
@@ -26,18 +35,25 @@ def simulate_direct_mapped(lines: np.ndarray, num_sets: int) -> np.ndarray:
         Cache-line addresses in program order.
     num_sets:
         Number of sets == number of lines of capacity (direct-mapped).
+    engine:
+        ``"reference"`` (one global sort), ``"fast"`` (chunked dense-tag
+        kernel), or ``"auto"`` (the fast kernel; it is always exact here).
 
     Returns
     -------
     Boolean hit array aligned with ``lines``.
     """
+    from repro.cachesim import fastsim
+
     if num_sets <= 0:
         raise ConfigurationError(f"num_sets must be positive, got {num_sets}")
+    if fastsim.resolve_engine(engine) == "fast":
+        return fastsim.fast_direct_mapped_hits(lines, num_sets)
     n = len(lines)
     if n == 0:
         return np.empty(0, bool)
     lines = lines.astype(np.int64, copy=False)
-    sets = lines % num_sets
+    sets = set_indices(lines, num_sets)
     order = np.argsort(sets, kind="stable")
     sorted_sets = sets[order]
     sorted_lines = lines[order]
@@ -52,9 +68,11 @@ def simulate_direct_mapped(lines: np.ndarray, num_sets: int) -> np.ndarray:
     return hits
 
 
-def direct_mapped_hit_rate(lines: np.ndarray, capacity_lines: int) -> float:
+def direct_mapped_hit_rate(
+    lines: np.ndarray, capacity_lines: int, engine: str = "reference"
+) -> float:
     """Hit rate of a direct-mapped cache with ``capacity_lines`` lines."""
     if len(lines) == 0:
         raise ConfigurationError("hit rate of an empty stream is undefined")
-    hits = simulate_direct_mapped(lines, capacity_lines)
+    hits = simulate_direct_mapped(lines, capacity_lines, engine=engine)
     return float(np.count_nonzero(hits)) / len(lines)

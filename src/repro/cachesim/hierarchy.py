@@ -5,11 +5,18 @@ L3 — the paper's simulated configuration (§III-A): "Each thread uses private
 L1 caches and a private L2 cache ... We model a 40 MiB, 20-way
 set-associative, unified L3 cache.  All caches use LRU."
 
-Two engines:
+Engines:
 
-* ``engine="exact"`` — per-access functional simulation using
-  :class:`~repro.cachesim.cache.SetAssociativeCache`, with optional inclusive
-  back-invalidation and optional per-level prefetchers.
+* ``engine="exact"`` (alias ``"reference"``) — per-access functional
+  simulation using :class:`~repro.cachesim.cache.SetAssociativeCache`, with
+  optional inclusive back-invalidation and optional per-level prefetchers.
+* ``engine="fast"`` — the same simulation, level by level through the
+  vectorized LRU kernels of :mod:`repro.cachesim.fastsim`.  Exact and
+  bit-identical to ``"exact"`` whenever inclusion and prefetchers are off
+  (per-level statistics are order-independent sums, so replaying each
+  level's filtered stream as a batch loses nothing); an explicit ``"fast"``
+  request with inclusion or prefetchers raises, ``"auto"`` falls back to
+  the exact loop.
 * ``engine="analytic"`` — vectorized fully-associative-LRU approximation via
   :class:`~repro.cachesim.misscurve.MissRatioCurve`, justified by the paper's
   Figure 7a (conflict misses beyond L1 under 1%).  Returns an
@@ -24,7 +31,10 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro._units import KiB, MiB
+from repro.cachesim import fastsim
 from repro.cachesim.cache import CacheGeometry, SetAssociativeCache
+from repro.cachesim.fastsim import fast_lru_hits
+from repro.cachesim.indexing import block_shift, lines_of_addrs
 from repro.cachesim.misscurve import MissRatioCurve
 from repro.cachesim.prefetch import PrefetcherBase
 from repro.cachesim.results import HierarchyResult, LevelStats
@@ -218,9 +228,7 @@ class AnalyticHierarchyResult(HierarchyResult):
         lines_cap = max(1, l3_capacity_bytes // self.l3_block_size)
         miss = curve.miss_mask(lines_cap)
         idx = self.l3_indices[miss]
-        lines = (self.trace.addr[idx] >> np.uint64(
-            self.l3_block_size.bit_length() - 1
-        )).astype(np.int64)
+        lines = lines_of_addrs(self.trace.addr[idx], self.l3_block_size)
         return lines, self.trace.segment[idx], self.trace.kind[idx]
 
 
@@ -233,7 +241,7 @@ def simulate_hierarchy(
     """Simulate a trace through the hierarchy; see module docstring."""
     if len(trace) == 0:
         raise SimulationError("cannot simulate an empty trace")
-    if engine == "exact":
+    if engine in ("exact", "reference"):
         return _simulate_exact(trace, config, prefetchers or {})
     if engine == "analytic":
         if prefetchers:
@@ -241,6 +249,13 @@ def simulate_hierarchy(
                 "prefetchers are only supported by the exact engine"
             )
         return _simulate_analytic(trace, config)
+    if engine in ("fast", "auto"):
+        resolved = fastsim.resolve_engine(
+            engine, fast_supported=not config.inclusive and not prefetchers
+        )
+        if resolved == "fast":
+            return _simulate_fast(trace, config)
+        return _simulate_exact(trace, config, prefetchers or {})
     raise ConfigurationError(f"unknown engine {engine!r}")
 
 
@@ -250,7 +265,7 @@ def simulate_hierarchy(
 
 
 def _shift(geometry: CacheGeometry) -> int:
-    return geometry.block_size.bit_length() - 1
+    return block_shift(geometry.block_size)
 
 
 def _simulate_exact(
@@ -326,6 +341,71 @@ def _simulate_exact(
 
 
 # ----------------------------------------------------------------------
+# Fast engine (vectorized exact)
+# ----------------------------------------------------------------------
+
+
+def _fast_level_pass(
+    trace: Trace,
+    indices: np.ndarray,
+    geometry: CacheGeometry,
+    stats: LevelStats,
+) -> np.ndarray:
+    """Run one level through the vectorized LRU kernel; return miss indices."""
+    lines = lines_of_addrs(trace.addr[indices], geometry.block_size)
+    hits = fast_lru_hits(lines, geometry.num_sets, geometry.effective_ways)
+    stats.record_arrays(trace.segment[indices], trace.kind[indices], hits)
+    return indices[~hits]
+
+
+def _simulate_fast(trace: Trace, config: HierarchyConfig) -> HierarchyResult:
+    """Exact hierarchy simulation, one vectorized batch per cache level.
+
+    Each private cache sees exactly the subsequence of accesses the exact
+    loop would feed it (its thread's stream filtered by the level above),
+    and the shared L3 sees the program-order merge of every thread's L2
+    misses, so each level's hit mask — and therefore every LevelStats
+    count, which is an order-independent sum — matches ``_simulate_exact``
+    exactly.  Only valid without inclusion and prefetchers (the caller
+    guarantees this via :func:`repro.cachesim.fastsim.resolve_engine`).
+    """
+    stats = {
+        name: LevelStats(name=name)
+        for name in ("L1I", "L1D", "L2") + (("L3",) if config.l3 else ())
+    }
+    is_instr = trace.kind == AccessKind.INSTR
+
+    l2_parts: list[np.ndarray] = []
+    for t in trace.thread_ids():
+        of_thread = trace.thread == np.uint16(t)
+        instr_idx = np.flatnonzero(of_thread & is_instr)
+        data_idx = np.flatnonzero(of_thread & ~is_instr)
+        misses: list[np.ndarray] = []
+        if len(instr_idx):
+            misses.append(
+                _fast_level_pass(trace, instr_idx, config.l1i.geometry, stats["L1I"])
+            )
+        if len(data_idx):
+            misses.append(
+                _fast_level_pass(trace, data_idx, config.l1d.geometry, stats["L1D"])
+            )
+        if not misses:
+            continue
+        l2_in = np.sort(np.concatenate(misses))
+        if len(l2_in):
+            l2_parts.append(
+                _fast_level_pass(trace, l2_in, config.l2.geometry, stats["L2"])
+            )
+
+    if config.l3 is not None and l2_parts:
+        l3_idx = np.sort(np.concatenate(l2_parts))
+        if len(l3_idx):
+            _fast_level_pass(trace, l3_idx, config.l3.geometry, stats["L3"])
+
+    return HierarchyResult(levels=stats, instruction_count=trace.instruction_count)
+
+
+# ----------------------------------------------------------------------
 # Analytic engine
 # ----------------------------------------------------------------------
 
@@ -337,7 +417,7 @@ def _level_pass(
     stats: LevelStats,
 ) -> np.ndarray:
     """Run one cache level analytically; return the miss indices."""
-    lines = (trace.addr[indices] >> np.uint64(_shift(geometry))).astype(np.int64)
+    lines = lines_of_addrs(trace.addr[indices], geometry.block_size)
     curve = MissRatioCurve(lines)
     hits = curve.hit_mask(geometry.capacity_lines)
     stats.record_arrays(trace.segment[indices], trace.kind[indices], hits)
@@ -381,7 +461,7 @@ def _simulate_analytic(trace: Trace, config: HierarchyConfig) -> HierarchyResult
     if config.l3 is not None and len(l3_idx):
         geo = config.l3.geometry
         l3_block = geo.block_size
-        lines = (trace.addr[l3_idx] >> np.uint64(_shift(geo))).astype(np.int64)
+        lines = lines_of_addrs(trace.addr[l3_idx], geo.block_size)
         l3_curve = MissRatioCurve(lines)
         hits = l3_curve.hit_mask(geo.capacity_lines)
         stats["L3"].record_arrays(

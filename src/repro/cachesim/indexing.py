@@ -1,0 +1,67 @@
+"""Shared block/set index math for every cache engine.
+
+Both simulation engines — the reference per-access simulator in
+:mod:`repro.cachesim.cache` and the vectorized kernels in
+:mod:`repro.cachesim.fastsim` — as well as the direct-mapped L4 model and
+the hierarchy drivers need the same two conversions:
+
+* byte address -> cache-line id (``addr >> log2(block_size)``), and
+* line id -> set index (``line % num_sets``; non-power-of-two set counts
+  are real — banked caches like POWER8's 96 MiB L3 — so this is a modulo,
+  not a mask).
+
+They used to be re-derived at each call site (``block_size.bit_length()
+- 1`` in four modules, bare ``% num_sets`` in three), which is exactly how
+an engine pair drifts apart one off-by-one at a time.  This module is the
+single implementation; the differential suite pins both engines to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._units import is_power_of_two, log2_exact
+from repro.errors import ConfigurationError
+
+
+def block_shift(block_size: int) -> int:
+    """Right-shift that turns a byte address into a line id.
+
+    ``block_size`` must be a power of two (enforced by
+    :class:`~repro.cachesim.cache.CacheGeometry` as well; re-checked here
+    because the L4 and TLB models call this with raw ints).
+    """
+    if not is_power_of_two(block_size):
+        raise ConfigurationError(
+            f"block_size must be a power of two, got {block_size}"
+        )
+    return log2_exact(block_size)
+
+
+def line_of_addr(addr: int, block_size: int) -> int:
+    """Cache-line id of one byte address."""
+    return addr >> block_shift(block_size)
+
+
+def lines_of_addrs(addrs: np.ndarray, block_size: int) -> np.ndarray:
+    """Cache-line ids of a byte-address array, as ``int64``.
+
+    Accepts the trace's native ``uint64`` addresses; the result is signed
+    so downstream sentinel values (e.g. ``-1`` for "empty way") are safe.
+    """
+    shifted = np.asarray(addrs) >> np.uint64(block_shift(block_size))
+    return shifted.astype(np.int64)
+
+
+def set_index(line: int, num_sets: int) -> int:
+    """Set index of one line id."""
+    if num_sets <= 0:
+        raise ConfigurationError(f"num_sets must be positive, got {num_sets}")
+    return line % num_sets
+
+
+def set_indices(lines: np.ndarray, num_sets: int) -> np.ndarray:
+    """Set indices of a line-id array, as ``int64``."""
+    if num_sets <= 0:
+        raise ConfigurationError(f"num_sets must be positive, got {num_sets}")
+    return (np.asarray(lines, np.int64) % num_sets).astype(np.int64)

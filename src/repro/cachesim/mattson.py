@@ -77,18 +77,29 @@ def stack_distances(lines: np.ndarray) -> np.ndarray:
 
 
 def hit_rate_for_capacities(
-    lines: np.ndarray, capacities_lines: np.ndarray | list[int]
+    lines: np.ndarray,
+    capacities_lines: np.ndarray | list[int],
+    engine: str = "reference",
 ) -> np.ndarray:
     """Exact fully-associative LRU hit rates for several capacities at once.
 
-    ``capacities_lines`` are capacities expressed in cache lines.
+    ``capacities_lines`` are capacities expressed in cache lines.  With
+    ``engine="fast"`` (or ``"auto"``) the distances come from the
+    vectorized single-pass kernel
+    :func:`repro.cachesim.fastsim.fast_stack_distances`, which is
+    bit-identical to :func:`stack_distances`; the histogram math is shared.
     """
+    from repro.cachesim import fastsim
+
     if len(lines) == 0:
         raise TraceError("hit rate of an empty stream is undefined")
     capacities = np.asarray(capacities_lines, np.int64)
     if (capacities <= 0).any():
         raise TraceError("capacities must be positive")
-    distances = stack_distances(lines)
+    if fastsim.resolve_engine(engine) == "fast":
+        distances = fastsim.fast_stack_distances(np.asarray(lines, np.int64))
+    else:
+        distances = stack_distances(lines)
     finite = distances[distances != COLD]
     if len(finite) == 0:
         return np.zeros(len(capacities), float)

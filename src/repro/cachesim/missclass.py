@@ -57,18 +57,31 @@ class MissBreakdown:
         return getattr(self, kind) / self.misses
 
 
-def classify_misses(lines: np.ndarray, geometry: CacheGeometry) -> MissBreakdown:
+def classify_misses(
+    lines: np.ndarray, geometry: CacheGeometry, engine: str = "reference"
+) -> MissBreakdown:
     """Classify every miss of one cache over a line stream.
 
     Runs the exact set-associative simulation and the exact stack-distance
-    analysis, so it is intended for streams up to a few hundred thousand
-    accesses.
+    analysis.  With ``engine="reference"`` both run as per-access Python
+    loops, so that path is intended for streams up to a few hundred
+    thousand accesses; ``engine="fast"``/``"auto"`` route both through the
+    bit-identical vectorized kernels in :mod:`repro.cachesim.fastsim`.
     """
+    from repro.cachesim import fastsim
+
     n = len(lines)
     if n == 0:
         raise TraceError("cannot classify an empty stream")
-    hits = SetAssociativeCache(geometry).simulate(lines)
-    distances = stack_distances(lines)
+    if fastsim.resolve_engine(engine) == "fast":
+        lines64 = np.asarray(lines, np.int64)
+        hits = fastsim.fast_lru_hits(
+            lines64, geometry.num_sets, geometry.effective_ways
+        )
+        distances = fastsim.fast_stack_distances(lines64)
+    else:
+        hits = SetAssociativeCache(geometry).simulate(lines)
+        distances = stack_distances(lines)
     capacity_lines = geometry.capacity_lines
 
     is_miss = ~hits

@@ -132,6 +132,25 @@ class MissRatioCurve:
             return max(0.0, window) * float(self.footprint(1))
         return float(self.footprint(int(window)))
 
+    def footprints_clamped(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`footprint_clamped` over an array of windows.
+
+        Elementwise bit-identical to the scalar method (same clamping
+        branches, same float64 arithmetic); used by the fast engine's
+        lockstep capacity solves in :mod:`repro.cachesim.composition`.
+        """
+        w = np.asarray(windows, np.float64)
+        out = np.empty(w.shape, np.float64)
+        big = w >= self._n
+        out[big] = float(self._m)
+        small = ~big & (w < 1.0)
+        if small.any():
+            out[small] = np.maximum(0.0, w[small]) * float(self.footprint(1))
+        mid = ~big & ~small
+        if mid.any():
+            out[mid] = np.asarray(self.footprint(w[mid].astype(np.int64)))
+        return out
+
     def window_for_capacity(self, capacity_lines: int) -> int:
         """Largest window whose average footprint fits in the capacity.
 
@@ -153,6 +172,41 @@ class MissRatioCurve:
             else:
                 hi = mid - 1
         return lo
+
+    def windows_for_capacities(
+        self, capacities_lines: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Vectorized :meth:`window_for_capacity` over many capacities.
+
+        A lockstep binary search: every element follows exactly the
+        (lo, hi) recurrence of the scalar method — same midpoint rule,
+        same early-outs, same float64 comparisons — so the result is
+        bit-identical capacity for capacity.
+        """
+        caps = np.asarray(capacities_lines, np.int64)
+        if len(caps) and (caps <= 0).any():
+            raise TraceError("capacities must be positive")
+        windows = np.full(caps.shape, self._n, np.int64)
+        active = caps < self._m
+        if not active.any():
+            return windows
+        overflow = active & (self.footprint(1) > caps)
+        windows[overflow] = 0
+        solve = np.flatnonzero(active & ~overflow)
+        if not len(solve):
+            return windows
+        c = caps[solve]
+        lo = np.ones(len(solve), np.int64)
+        hi = np.full(len(solve), self._n, np.int64)
+        # Converged elements keep mid == lo and fp(lo) <= c, so the extra
+        # lockstep iterations leave them fixed.
+        while np.any(lo < hi):
+            mid = (lo + hi + 1) // 2
+            le = np.asarray(self.footprint(mid)) <= c
+            lo = np.where(le, mid, lo)
+            hi = np.where(le, hi, mid - 1)
+        windows[solve] = lo
+        return windows
 
     # ------------------------------------------------------------------
     # Hit rates and masks
@@ -197,8 +251,26 @@ class MissRatioCurve:
         )
         return hits / self._n
 
-    def hit_rates(self, capacities_lines: np.ndarray | list[int]) -> np.ndarray:
-        """Hit rates at several capacities (one cheap search each)."""
+    def hit_rates(
+        self,
+        capacities_lines: np.ndarray | list[int],
+        engine: str = "reference",
+    ) -> np.ndarray:
+        """Hit rates at several capacities.
+
+        ``engine="reference"`` solves each capacity's window with the
+        scalar binary search; ``"fast"``/``"auto"`` solve all of them in
+        one lockstep search (:meth:`windows_for_capacities`) —
+        bit-identical by construction.
+        """
+        from repro.cachesim import fastsim
+
+        if fastsim.resolve_engine(engine) == "fast":
+            windows = self.windows_for_capacities(capacities_lines)
+            hits = np.searchsorted(
+                self._reuse_sorted_nonzero, windows, side="right"
+            )
+            return hits / self._n
         return np.array(
             [self.hit_rate(int(c)) for c in np.asarray(capacities_lines)], float
         )

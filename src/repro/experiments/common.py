@@ -34,13 +34,23 @@ class RunPreset:
     seed: int = 7
     #: Instruction budget for branch-predictor simulations.
     branch_instructions: int = 800_000
+    #: Simulation-engine selection for the cachesim entry points
+    #: (``"reference" | "fast" | "auto"``); every engine is bit-identical,
+    #: so this only trades wall time.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
+        from repro.cachesim.fastsim import ENGINES
+
         if not 0 < self.scale <= 1:
             raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
         for name in ("code_events", "heap_events", "shard_events", "stack_events"):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be positive")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
 
     @classmethod
     def quick(cls) -> "RunPreset":
@@ -178,13 +188,15 @@ def composed_run(
 
     Several experiments share the same underlying run (Table I, Figures 3,
     6, 13, 14 all start from the S1-leaf streams), so runs are cached per
-    (profile, preset, platform, threads).
+    (profile, preset, platform, threads, engine).
     """
     preset = preset or RunPreset.quick()
     if isinstance(profile, str):
         profile = get_profile(profile)
     threads = threads if threads is not None else preset.threads
-    key = (profile.name, preset.name, preset.scale, platform, threads)
+    key = (
+        profile.name, preset.name, preset.scale, platform, threads, preset.engine
+    )
     if key in _COMPOSED_RUNS:
         return _COMPOSED_RUNS[key]
 
@@ -201,7 +213,9 @@ def composed_run(
         seed=preset.seed,
         block_size=block_size,
     )
-    run = ComposedHierarchy(streams, profile.rates, config, threads=threads)
+    run = ComposedHierarchy(
+        streams, profile.rates, config, threads=threads, engine=preset.engine
+    )
     _COMPOSED_RUNS[key] = run
     return run
 
@@ -220,7 +234,9 @@ def discard_run(
     """
     name = profile if isinstance(profile, str) else profile.name
     threads = threads if threads is not None else preset.threads
-    _COMPOSED_RUNS.pop((name, preset.name, preset.scale, platform, threads), None)
+    _COMPOSED_RUNS.pop(
+        (name, preset.name, preset.scale, platform, threads, preset.engine), None
+    )
 
 
 def clear_run_cache() -> None:

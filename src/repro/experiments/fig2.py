@@ -114,7 +114,7 @@ def prefetch_rows(result: ExperimentResult, preset: RunPreset) -> None:
     )
     config = HierarchyConfig.plt1_like().scaled(preset.scale)
 
-    base = simulate_hierarchy(trace, config, engine="exact")
+    base = simulate_hierarchy(trace, config, engine=preset.engine)
     prefetched = simulate_hierarchy(
         trace,
         config,

@@ -6,7 +6,9 @@
 (b) MPKI vs. block size (32 B – 1 KiB): the 64-byte default captures most
     spatial locality.
 
-Both use the exact set-associative engine on a reduced trace.
+Both use the exact set-associative simulation on a reduced trace; the
+preset's ``engine`` picks the reference loop or the bit-identical
+vectorized kernels.
 """
 
 from __future__ import annotations
@@ -35,7 +37,7 @@ def associativity_rows(result: ExperimentResult, preset: RunPreset) -> None:
     """Panel (a): set-associative vs. fully-associative MPKI per level."""
     trace = _trace(preset, 60_000)
     config = HierarchyConfig.plt1_like().scaled(preset.scale)
-    base = simulate_hierarchy(trace, config, engine="exact")
+    base = simulate_hierarchy(trace, config, engine=preset.engine)
 
     full = HierarchyConfig(
         l1i=_fully(config.l1i),
@@ -43,7 +45,7 @@ def associativity_rows(result: ExperimentResult, preset: RunPreset) -> None:
         l2=_fully(config.l2),
         l3=_fully(config.l3),
     )
-    ideal = simulate_hierarchy(trace, full, engine="exact")
+    ideal = simulate_hierarchy(trace, full, engine=preset.engine)
 
     for level in ("L1I", "L1D", "L2", "L3"):
         base_misses = base.level(level).total_misses
@@ -78,7 +80,9 @@ def block_size_rows(result: ExperimentResult, preset: RunPreset) -> None:
     l1d_size = HierarchyConfig.plt1_like().l1d.geometry.size
     for block in _BLOCK_SIZES:
         geometry = CacheGeometry(size=l1d_size, assoc=8, block_size=block)
-        breakdown = classify_misses(data.lines(block), geometry)
+        breakdown = classify_misses(
+            data.lines(block), geometry, engine=preset.engine
+        )
         mpki = breakdown.misses / (instructions / 1000.0)
         result.add(
             series="fig7b-block-size",
@@ -101,7 +105,9 @@ def miss_type_rows(result: ExperimentResult, preset: RunPreset) -> None:
     config = HierarchyConfig.plt1_like().scaled(preset.scale)
     for segment in (Segment.HEAP, Segment.SHARD):
         lines = trace.only_segment(segment).lines(64)
-        breakdown = classify_misses(lines, config.l3.geometry)
+        breakdown = classify_misses(
+            lines, config.l3.geometry, engine=preset.engine
+        )
         result.add(
             series="miss-types-l3",
             x=segment.name.lower(),

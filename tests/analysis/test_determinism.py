@@ -109,3 +109,38 @@ class TestSetIteration:
     def test_good_dict_iteration(self):
         # Python dicts preserve insertion order; only sets are flagged.
         assert rules("for key in mapping:\n    use(key)\n") == []
+
+
+class TestFastsimInScope:
+    """RPR101-103 must cover the vectorized engine, not just the reference.
+
+    ``repro.cachesim.fastsim`` holds the hot kernels; a wall-clock read or
+    ambient RNG sneaking in there would silently break the bit-identity
+    contract between engines.
+    """
+
+    def test_rpr101_fires_in_fastsim(self):
+        src = "import random\nx = random.random()\n"
+        assert rules(src, module="repro.cachesim.fastsim") == ["RPR101"]
+
+    def test_rpr102_fires_in_fastsim(self):
+        src = "import time\nt = time.time()\n"
+        assert rules(src, module="repro.cachesim.fastsim") == ["RPR102"]
+
+    def test_rpr103_fires_in_fastsim(self):
+        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert rules(src, module="repro.cachesim.fastsim") == ["RPR103"]
+
+    def test_fastsim_timer_is_noqa_not_unscoped(self):
+        """The opt-in kernel timer must carry an explicit waiver."""
+        import pathlib
+
+        source = pathlib.Path("src/repro/cachesim/fastsim.py").read_text()
+        assert "perf_counter" in source
+        assert "repro: noqa RPR102" in source
+        # And with the waiver stripped, the scope DOES catch it.
+        stripped = source.replace("# repro: noqa RPR102", "# timer")
+        violations = rules(
+            stripped, module="repro.cachesim.fastsim", select=("RPR102",)
+        )
+        assert violations == ["RPR102"] * 2  # timer start + stop

@@ -1,0 +1,310 @@
+"""Differential verification of the fast engine against the reference.
+
+The equivalence contract of :mod:`repro.cachesim.fastsim`: for every
+geometry (including CAT way-masking) and every trace, the vectorized
+kernels produce exactly the hits, misses, evictions, and final cache
+contents of the per-access reference simulator.  Hypothesis drives random
+geometries and streams; the adversarial classes the cascade kernel could
+plausibly get wrong — single-set storms, strided streams, sawtooth
+working sets, the wide-ways stack-distance path — are pinned explicitly.
+
+Run with ``HYPOTHESIS_PROFILE=ci`` for the heavy fixed-corpus version
+(see ``tests/conftest.py``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cachesim import fastsim
+from repro.cachesim.cache import CacheGeometry, SetAssociativeCache
+from repro.cachesim.directmapped import simulate_direct_mapped
+from repro.cachesim.fastsim import (
+    CASCADE_MAX_WAYS,
+    FastSetAssociativeCache,
+    fast_direct_mapped_hits,
+    fast_lru_hits,
+    fast_lru_hits_for_sets,
+    fast_stack_distances,
+)
+from repro.cachesim.mattson import hit_rate_for_capacities, stack_distances
+from repro.cachesim.missclass import classify_misses
+from repro.cachesim.misscurve import MissRatioCurve
+from repro.cachesim.setsample import sampled_hit_rate
+from repro.errors import ConfigurationError
+
+
+@st.composite
+def geometries(draw):
+    """Random cache geometries, CAT way-masking included."""
+    assoc = draw(st.integers(1, 16))
+    sets = draw(st.integers(1, 64))
+    block = draw(st.sampled_from([16, 32, 64, 128, 256]))
+    ways_enabled = draw(st.one_of(st.none(), st.integers(1, assoc)))
+    return CacheGeometry(
+        size=sets * assoc * block,
+        assoc=assoc,
+        block_size=block,
+        ways_enabled=ways_enabled,
+    )
+
+
+line_streams = st.lists(
+    st.integers(min_value=0, max_value=300), min_size=1, max_size=400
+).map(lambda values: np.asarray(values, np.int64))
+
+
+def _reference_hits(geometry, lines):
+    return SetAssociativeCache(geometry).simulate(lines, engine="reference")
+
+
+def _reference_contents(geometry, lines):
+    cache = SetAssociativeCache(geometry)
+    cache.simulate(lines, engine="reference")
+    return cache._sets
+
+
+class TestRandomizedDifferential:
+    @given(geometries(), line_streams)
+    def test_hit_mask_matches_reference(self, geometry, lines):
+        expected = _reference_hits(geometry, lines)
+        got = fast_lru_hits(
+            lines, geometry.num_sets, geometry.effective_ways
+        )
+        assert np.array_equal(expected, got)
+
+    @given(geometries(), line_streams)
+    def test_stateful_cache_matches_access_for_access(self, geometry, lines):
+        """(hit, victim) of every single access, plus running contents."""
+        ref = SetAssociativeCache(geometry)
+        fast = FastSetAssociativeCache(geometry)
+        for i, line in enumerate(lines.tolist()):
+            assert ref.access(line) == fast.access(line), f"access {i}"
+        for set_idx in range(geometry.num_sets):
+            assert ref._sets[set_idx] == fast.set_contents(set_idx)
+
+    @given(geometries(), line_streams, line_streams)
+    def test_warm_batches_match_reference(self, geometry, first, second):
+        """Batch replay continues exactly from pre-existing state."""
+        ref = SetAssociativeCache(geometry)
+        fast = FastSetAssociativeCache(geometry)
+        for batch in (first, second):
+            expected = ref.simulate(batch, engine="reference")
+            got = fast.access_batch(batch)
+            assert np.array_equal(expected, got)
+        assert ref.resident_lines == fast.resident_lines
+        for set_idx in range(geometry.num_sets):
+            assert ref._sets[set_idx] == fast.set_contents(set_idx)
+
+    @given(geometries(), line_streams)
+    def test_engine_parameter_preserves_state(self, geometry, lines):
+        """`simulate(engine='fast')` leaves identical list-of-lists state."""
+        ref = SetAssociativeCache(geometry)
+        fast = SetAssociativeCache(geometry)
+        half = len(lines) // 2
+        for chunk in (lines[:half], lines[half:]):
+            a = ref.simulate(chunk, engine="reference")
+            b = fast.simulate(chunk, engine="fast")
+            assert np.array_equal(a, b)
+        assert ref._sets == fast._sets
+
+    @given(geometries(), line_streams)
+    def test_invalidation_interleaved(self, geometry, lines):
+        """CAT-style invalidation between batches stays in lockstep."""
+        ref = SetAssociativeCache(geometry)
+        fast = FastSetAssociativeCache(geometry)
+        half = len(lines) // 2
+        assert np.array_equal(
+            ref.simulate(lines[:half], engine="reference"),
+            fast.access_batch(lines[:half]),
+        )
+        for line in lines.tolist()[::7]:
+            assert ref.invalidate(line) == fast.invalidate(line)
+            assert ref.contains(line) == fast.contains(line)
+        assert np.array_equal(
+            ref.simulate(lines[half:], engine="reference"),
+            fast.access_batch(lines[half:]),
+        )
+        assert ref.resident_lines == fast.resident_lines
+
+    @given(line_streams)
+    def test_stack_distances_match_reference(self, lines):
+        assert np.array_equal(
+            stack_distances(lines), fast_stack_distances(lines)
+        )
+
+    @given(line_streams, st.integers(1, 128))
+    def test_direct_mapped_matches_reference(self, lines, num_sets):
+        expected = simulate_direct_mapped(lines, num_sets, engine="reference")
+        # A tiny chunk size exercises the cross-chunk tag carry.
+        got = fast_direct_mapped_hits(lines, num_sets, chunk=17)
+        assert np.array_equal(expected, got)
+
+    @given(geometries(), line_streams)
+    def test_classify_misses_engines_agree(self, geometry, lines):
+        assert classify_misses(
+            lines, geometry, engine="reference"
+        ) == classify_misses(lines, geometry, engine="fast")
+
+    @given(geometries(), line_streams, st.integers(0, 5))
+    def test_setsample_engines_agree(self, geometry, lines, seed):
+        a = sampled_hit_rate(
+            lines, geometry, sample_fraction=0.5, seed=seed, engine="reference"
+        )
+        b = sampled_hit_rate(
+            lines, geometry, sample_fraction=0.5, seed=seed, engine="fast"
+        )
+        assert a == b
+
+    @given(line_streams)
+    def test_mattson_capacity_rates_engines_agree(self, lines):
+        capacities = [1, 2, 3, 8, 31, 400]
+        a = hit_rate_for_capacities(lines, capacities, engine="reference")
+        b = hit_rate_for_capacities(lines, capacities, engine="fast")
+        assert a.tobytes() == b.tobytes()
+
+    @given(line_streams)
+    def test_misscurve_batch_rates_bit_identical(self, lines):
+        curve = MissRatioCurve(lines)
+        capacities = [1, 2, 5, 17, 120, 4000]
+        a = curve.hit_rates(capacities, engine="reference")
+        b = curve.hit_rates(capacities, engine="fast")
+        assert a.tobytes() == b.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Adversarial trace classes
+# ----------------------------------------------------------------------
+
+_ADVERSARIAL_GEOMETRIES = [
+    CacheGeometry(size=8 * 64, assoc=1),  # direct-mapped
+    CacheGeometry(size=16 * 4 * 64, assoc=4),
+    CacheGeometry(size=16 * 8 * 64, assoc=8, ways_enabled=3),  # CAT mask
+    CacheGeometry(size=1 * 16 * 64, assoc=16),  # single set
+    CacheGeometry.fully_associative(128 * 64),  # ways > CASCADE_MAX_WAYS
+]
+
+
+def _adversarial_traces(geometry):
+    num_sets = geometry.num_sets
+    ways = geometry.effective_ways
+    n = 600
+    idx = np.arange(n, dtype=np.int64)
+    return {
+        # Every access lands in one set while the others starve.
+        "single-set storm": (idx % (ways + 1)) * num_sets,
+        # Constant stride; hits exactly when the stride ring fits.
+        "strided": (idx * 3) % (num_sets * (ways + 2)),
+        # Sawtooth working set alternately inside and beyond capacity.
+        "sawtooth": np.concatenate(
+            [np.arange(k, dtype=np.int64) for k in (ways, 2 * ways + 1) * 8]
+        ),
+        # Ping-pong between two lines of the same set.
+        "ping-pong": (idx % 2) * num_sets,
+    }
+
+
+class TestAdversarialTraces:
+    @pytest.mark.parametrize(
+        "geometry", _ADVERSARIAL_GEOMETRIES, ids=lambda g: str(g)
+    )
+    def test_adversarial_hit_masks_match(self, geometry):
+        for name, lines in _adversarial_traces(geometry).items():
+            expected = _reference_hits(geometry, lines)
+            got = fast_lru_hits(
+                lines, geometry.num_sets, geometry.effective_ways
+            )
+            assert np.array_equal(expected, got), name
+
+    @pytest.mark.parametrize(
+        "geometry", _ADVERSARIAL_GEOMETRIES, ids=lambda g: str(g)
+    )
+    def test_adversarial_final_contents_match(self, geometry):
+        for name, lines in _adversarial_traces(geometry).items():
+            fast = FastSetAssociativeCache(geometry)
+            fast.access_batch(lines)
+            expected = _reference_contents(geometry, lines)
+            for set_idx in range(geometry.num_sets):
+                assert expected[set_idx] == fast.set_contents(set_idx), name
+
+    def test_wide_ways_takes_stack_distance_path(self):
+        """Geometries past CASCADE_MAX_WAYS stay exact on the other path."""
+        geometry = CacheGeometry.fully_associative(3 * CASCADE_MAX_WAYS * 64)
+        assert geometry.effective_ways > CASCADE_MAX_WAYS
+        rng = np.random.default_rng(11)
+        lines = rng.integers(0, 5 * CASCADE_MAX_WAYS, 3000).astype(np.int64)
+        assert np.array_equal(
+            _reference_hits(geometry, lines),
+            fast_lru_hits(lines, geometry.num_sets, geometry.effective_ways),
+        )
+
+    def test_explicit_set_indices_variant(self):
+        """The setsample entry point: sets supplied by the caller."""
+        rng = np.random.default_rng(5)
+        lines = rng.integers(0, 400, 2000).astype(np.int64)
+        num_sets, ways = 13, 3
+        sets = (lines % num_sets).astype(np.int64)
+        geometry = CacheGeometry(size=num_sets * ways * 64, assoc=ways)
+        assert np.array_equal(
+            _reference_hits(geometry, lines),
+            fast_lru_hits_for_sets(lines, sets, ways),
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine selection and counters
+# ----------------------------------------------------------------------
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fastsim.resolve_engine("turbo")
+
+    def test_fast_raises_when_unsupported(self):
+        with pytest.raises(ConfigurationError):
+            fastsim.resolve_engine("fast", fast_supported=False)
+
+    def test_auto_falls_back_and_counts(self):
+        fastsim.reset_counters()
+        assert fastsim.resolve_engine("auto", fast_supported=False) == "reference"
+        assert fastsim.counters_snapshot()["fallbacks"] == 1
+
+    def test_kernels_count_accesses(self):
+        fastsim.reset_counters()
+        lines = np.arange(100, dtype=np.int64)
+        fast_lru_hits(lines, 4, 2)
+        fast_stack_distances(lines)
+        snapshot = fastsim.counters_snapshot()
+        assert snapshot["accesses"] == 200
+        assert snapshot["kernel_calls"] == 2
+
+    def test_record_metrics_publishes_counters(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        fastsim.reset_counters()
+        fast_lru_hits(np.arange(50, dtype=np.int64), 4, 2)
+        registry = MetricsRegistry()
+        fastsim.record_metrics(registry)
+        payload = registry.snapshot().to_dict()
+        assert payload["repro.fastsim.accesses"]["value"] == 50
+        assert payload["repro.fastsim.kernel_calls"]["value"] == 1
+
+    def test_non_lru_policies_guarded(self):
+        geometry = CacheGeometry(size=4 * 2 * 64, assoc=2)
+        lines = np.arange(10, dtype=np.int64) % 9
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(geometry, replacement="fifo").simulate(
+                lines, engine="fast"
+            )
+        # "auto" silently falls back and still simulates correctly.
+        expected = SetAssociativeCache(geometry, replacement="fifo").simulate(
+            lines, engine="reference"
+        )
+        fallback = SetAssociativeCache(geometry, replacement="fifo").simulate(
+            lines, engine="auto"
+        )
+        assert np.array_equal(expected, fallback)
+        with pytest.raises(ConfigurationError):
+            FastSetAssociativeCache(geometry, replacement="fifo")

@@ -1,0 +1,94 @@
+"""Regression tests for the shared block/set indexing helpers.
+
+``directmapped.py`` and ``cache.py`` used to re-derive this math
+independently; these tests pin the single implementation — especially for
+non-64-byte block sizes, where an off-by-one in the shift silently halves
+or doubles every line id.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheGeometry
+from repro.cachesim.indexing import (
+    block_shift,
+    line_of_addr,
+    lines_of_addrs,
+    set_index,
+    set_indices,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBlockShift:
+    @pytest.mark.parametrize(
+        "block_size,shift",
+        [(16, 4), (32, 5), (64, 6), (128, 7), (256, 8), (512, 9), (1024, 10)],
+    )
+    def test_shift_per_block_size(self, block_size, shift):
+        assert block_shift(block_size) == shift
+
+    def test_rejects_non_power_of_two(self):
+        for bad in (0, -64, 3, 48, 65):
+            with pytest.raises(ConfigurationError):
+                block_shift(bad)
+
+    @pytest.mark.parametrize("block_size", [16, 32, 128, 256, 1024])
+    def test_matches_hierarchy_shift(self, block_size):
+        """The hierarchy's per-level shift delegates to the same helper."""
+        from repro.cachesim.hierarchy import _shift
+
+        geometry = CacheGeometry(
+            size=4 * 2 * block_size, assoc=2, block_size=block_size
+        )
+        assert _shift(geometry) == block_shift(block_size)
+
+
+class TestLineExtraction:
+    @pytest.mark.parametrize(
+        "addr,block_size,line",
+        [
+            (0, 128, 0),
+            (127, 128, 0),
+            (128, 128, 1),
+            (4096, 128, 32),
+            (4095, 32, 127),
+            (4096, 32, 128),
+            (1023, 1024, 0),
+            (1024, 1024, 1),
+        ],
+    )
+    def test_non_64_byte_blocks(self, addr, block_size, line):
+        assert line_of_addr(addr, block_size) == line
+        got = lines_of_addrs(np.array([addr], np.uint64), block_size)
+        assert got.dtype == np.int64
+        assert int(got[0]) == line
+
+    def test_array_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 1 << 40, 500, dtype=np.uint64)
+        for block in (16, 32, 64, 128, 256):
+            vec = lines_of_addrs(addrs, block)
+            scalar = [line_of_addr(int(a), block) for a in addrs]
+            assert vec.tolist() == scalar
+
+
+class TestSetIndexing:
+    def test_modulo_not_mask(self):
+        """Non-power-of-two set counts (banked caches) must use modulo."""
+        assert set_index(13, 12) == 1
+        got = set_indices(np.array([13, 24, 25], np.int64), 12)
+        assert got.tolist() == [1, 0, 1]
+
+    def test_rejects_non_positive_set_count(self):
+        with pytest.raises(ConfigurationError):
+            set_index(5, 0)
+        with pytest.raises(ConfigurationError):
+            set_indices(np.array([1], np.int64), -4)
+
+    def test_matches_reference_cache_mapping(self):
+        """The reference simulator's inline modulo and the helper agree."""
+        geometry = CacheGeometry(size=12 * 2 * 128, assoc=2, block_size=128)
+        lines = np.arange(100, dtype=np.int64)
+        expected = [line % geometry.num_sets for line in lines.tolist()]
+        assert set_indices(lines, geometry.num_sets).tolist() == expected

@@ -77,3 +77,30 @@ class TestHitRateForCapacities:
     def test_all_cold_stream(self):
         rates = hit_rate_for_capacities(np.arange(100), [10, 1000])
         assert (rates == 0).all()
+
+
+class TestEngineBranches:
+    """Backfill for branches the differential suite exposed."""
+
+    def test_all_cold_stream_fast_engine(self):
+        lines = np.arange(50, dtype=np.int64)  # no reuse at all
+        rates = hit_rate_for_capacities(lines, [1, 8, 64], engine="fast")
+        assert rates.tolist() == [0.0, 0.0, 0.0]
+
+    def test_single_access_stream_both_engines(self):
+        lines = np.array([7], np.int64)
+        for engine in ("reference", "fast"):
+            rates = hit_rate_for_capacities(lines, [1, 2], engine=engine)
+            assert rates.tolist() == [0.0, 0.0]
+
+    def test_fast_engine_rejects_empty_and_bad_capacity(self):
+        with pytest.raises(TraceError):
+            hit_rate_for_capacities(np.empty(0, np.int64), [1], engine="fast")
+        with pytest.raises(TraceError):
+            hit_rate_for_capacities(np.array([1, 2]), [0], engine="fast")
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            hit_rate_for_capacities(np.array([1, 2]), [1], engine="warp")

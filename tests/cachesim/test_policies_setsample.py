@@ -136,3 +136,60 @@ class TestSetSampling:
             sampled_hit_rate(np.empty(0, np.int64), geometry)
         with pytest.raises(ConfigurationError):
             sampled_hit_rate(zipf_lines(100), geometry, replacement="random")
+
+
+class TestSampledBranches:
+    """Branches the differential work exposed as untested."""
+
+    def test_zero_sampled_accesses_hit_rate_raises(self):
+        from repro.cachesim.setsample import SampledEstimate
+
+        estimate = SampledEstimate(
+            sampled_sets=1, total_sets=64, sampled_accesses=0, sampled_hits=0
+        )
+        with pytest.raises(TraceError):
+            estimate.hit_rate
+
+    def test_sample_can_catch_no_accesses(self):
+        """A sample whose sets see no traffic still reports metadata."""
+        geometry = CacheGeometry(8 * KiB, 4)  # 32 sets
+        lines = np.zeros(50, np.int64)  # all traffic in set 0
+        for seed in range(20):
+            estimate = sampled_hit_rate(
+                lines, geometry, sample_fraction=1 / 32, seed=seed
+            )
+            if estimate.sampled_accesses == 0:
+                with pytest.raises(TraceError):
+                    estimate.hit_rate
+                break
+        else:
+            pytest.fail("no seed sampled an idle set")
+
+    def test_fifo_sampling_full_matches_exact(self):
+        lines = zipf_lines(5000, pool=600)
+        geometry = CacheGeometry(8 * KiB, 4)
+        exact = (
+            SetAssociativeCache(geometry, replacement="fifo")
+            .simulate(lines)
+            .mean()
+        )
+        estimate = sampled_hit_rate(
+            lines, geometry, sample_fraction=1.0, replacement="fifo"
+        )
+        assert estimate.hit_rate == pytest.approx(exact, abs=1e-12)
+
+    def test_fast_engine_rejects_fifo(self):
+        geometry = CacheGeometry(8 * KiB, 4)
+        with pytest.raises(ConfigurationError):
+            sampled_hit_rate(
+                zipf_lines(100), geometry, replacement="fifo", engine="fast"
+            )
+
+    def test_auto_engine_falls_back_for_fifo(self):
+        lines = zipf_lines(3000, pool=500)
+        geometry = CacheGeometry(8 * KiB, 4)
+        auto = sampled_hit_rate(lines, geometry, replacement="fifo", engine="auto")
+        ref = sampled_hit_rate(
+            lines, geometry, replacement="fifo", engine="reference"
+        )
+        assert auto == ref

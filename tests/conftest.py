@@ -1,0 +1,18 @@
+"""Shared test configuration: named Hypothesis profiles.
+
+``dev`` (the default) keeps property suites fast for the inner loop;
+``ci`` runs many more examples, derandomized so every CI run checks the
+same fixed corpus.  Select with ``HYPOTHESIS_PROFILE=ci`` — the
+``fastsim-equivalence`` CI job does exactly that for the differential
+suite.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=30, deadline=None)
+settings.register_profile(
+    "ci", max_examples=300, deadline=None, derandomize=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

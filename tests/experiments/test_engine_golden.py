@@ -1,0 +1,78 @@
+"""Golden equivalence of the reference and fast engines at the experiment layer.
+
+The fig6 (composed sweeps) and fig7 (exact trace replay) quick-preset runs
+must be byte-identical between ``engine="reference"`` and
+``engine="fast"`` — rendered tables and the ``--metrics-out`` JSON
+document alike.  Same pattern as ``tests/experiments/test_parallel.py``:
+module-scoped runs, then byte-level diffs.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import runner
+from repro.experiments.common import RunPreset, clear_run_cache
+from repro.experiments.parallel import run_report
+
+_ENGINE_IDS = ["fig6", "fig7"]
+
+
+def _report(engine):
+    clear_run_cache()
+    preset = dataclasses.replace(RunPreset.quick(), engine=engine)
+    try:
+        return run_report(preset, only=_ENGINE_IDS, jobs=1)
+    finally:
+        clear_run_cache()
+
+
+@pytest.fixture(scope="module")
+def reference_report():
+    return _report("reference")
+
+
+@pytest.fixture(scope="module")
+def fast_report():
+    return _report("fast")
+
+
+class TestEngineByteEquality:
+    def test_canonical_order(self, reference_report, fast_report):
+        assert [r.experiment_id for r in reference_report.results] == _ENGINE_IDS
+        assert [r.experiment_id for r in fast_report.results] == _ENGINE_IDS
+
+    def test_rendered_tables_identical(self, reference_report, fast_report):
+        for a, b in zip(reference_report.results, fast_report.results):
+            assert a.render() == b.render()
+
+    def test_metrics_snapshots_identical(self, reference_report, fast_report):
+        for a, b in zip(reference_report.results, fast_report.results):
+            assert a.metrics.to_json() == b.metrics.to_json()
+
+    def test_metrics_document_identical(
+        self, reference_report, fast_report, tmp_path
+    ):
+        runner.write_metrics(
+            reference_report.results, str(tmp_path / "reference.json")
+        )
+        runner.write_metrics(fast_report.results, str(tmp_path / "fast.json"))
+        assert (tmp_path / "reference.json").read_bytes() == (
+            tmp_path / "fast.json"
+        ).read_bytes()
+
+
+class TestEnginePlumbing:
+    def test_preset_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(RunPreset.quick(), engine="turbo")
+
+    def test_default_preset_engine_is_auto(self):
+        assert RunPreset.quick().engine == "auto"
+        assert RunPreset.standard().engine == "auto"
+
+    def test_runner_engine_flag(self, capsys):
+        runner.main(["--list", "--engine", "reference"])
+        with pytest.raises(SystemExit):
+            runner.main(["--engine", "turbo", "--list"])

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Coverage ratchet for the cache-simulation package.
+
+Two modes:
+
+``check`` (default)
+    Read a ``coverage.json`` report produced by pytest-cov
+    (``pytest tests/cachesim --cov=repro.cachesim --cov-report=json``)
+    and fail if any file in ``tools/coverage_ratchet.json`` — or the
+    package aggregate — has dropped below its recorded floor.  CI runs
+    this; the ratchet only moves up.
+
+``measure``
+    Re-measure line coverage locally with a stdlib ``sys.settrace``
+    tracer (no pytest-cov needed): runs ``tests/cachesim`` and prints
+    per-file percentages.  Use it to pick new floors after adding
+    tests.  The stdlib tracer counts a few lines (docstrings, guarded
+    imports) differently from coverage.py, so floors in the ratchet
+    carry a few points of margin below measured values.
+
+Usage::
+
+    python tools/coverage_gate.py check coverage.json
+    python tools/coverage_gate.py measure
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import types
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RATCHET = REPO / "tools" / "coverage_ratchet.json"
+PACKAGE = "repro/cachesim/"
+
+
+def _relative_name(path: str) -> str | None:
+    """Map a coverage.json file key to a name relative to the package."""
+    normalized = path.replace("\\", "/")
+    if PACKAGE not in normalized:
+        return None
+    return normalized.rsplit(PACKAGE, 1)[1]
+
+
+def check(report_path: str) -> int:
+    ratchet = json.loads(RATCHET.read_text())
+    report = json.loads(pathlib.Path(report_path).read_text())
+
+    summaries: dict[str, dict] = {}
+    for path, data in report.get("files", {}).items():
+        name = _relative_name(path)
+        if name is not None:
+            summaries[name] = data["summary"]
+
+    failures = []
+    covered = sum(s["covered_lines"] for s in summaries.values())
+    statements = sum(s["num_statements"] for s in summaries.values())
+    total = 100.0 * covered / statements if statements else 0.0
+    floor = ratchet["total"]
+    if total < floor:
+        failures.append(
+            f"package total {total:.1f}% < ratchet floor {floor:.1f}%"
+        )
+
+    for name, file_floor in sorted(ratchet["files"].items()):
+        summary = summaries.get(name)
+        if summary is None:
+            failures.append(f"{name}: missing from the coverage report")
+            continue
+        percent = summary["percent_covered"]
+        if percent < file_floor:
+            failures.append(
+                f"{name}: {percent:.1f}% < ratchet floor {file_floor:.1f}%"
+            )
+
+    if failures:
+        print("coverage ratchet FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        print(
+            "Coverage only ratchets upward: add tests, or raise the floors\n"
+            "in tools/coverage_ratchet.json only alongside an intentional\n"
+            "code removal."
+        )
+        return 1
+
+    print(
+        f"coverage ratchet OK: {PACKAGE} total {total:.1f}%"
+        f" (floor {floor:.1f}%), {len(ratchet['files'])} file floors held"
+    )
+    return 0
+
+
+def _executable_lines(path: pathlib.Path) -> set[int]:
+    """All line numbers that carry bytecode, via the code-object tree."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        for _, _, line in current.co_lines():
+            if line is not None:
+                lines.add(line)
+        for const in current.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+    return lines
+
+
+def measure() -> int:
+    import threading
+
+    import pytest
+
+    target = REPO / "src" / "repro" / "cachesim"
+    prefix = str(target) + "/"
+    executed: dict[str, set[int]] = {}
+
+    def local_tracer(frame, event, arg):
+        if event == "line":
+            executed[frame.f_code.co_filename].add(frame.f_lineno)
+        return local_tracer
+
+    def global_tracer(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename.startswith(prefix):
+            executed.setdefault(frame.f_code.co_filename, set())
+            return local_tracer
+        return None
+
+    threading.settrace(global_tracer)
+    sys.settrace(global_tracer)
+    try:
+        exit_code = pytest.main(["tests/cachesim", "-q", "-p", "no:cacheprovider"])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"pytest failed with exit code {exit_code}; not measuring")
+        return int(exit_code)
+
+    print(f"\nstdlib-tracer line coverage for {PACKAGE} (approximate):")
+    rows = []
+    total_hit = total_lines = 0
+    for path in sorted(target.glob("*.py")):
+        lines = _executable_lines(path)
+        hit = executed.get(str(path), set()) & lines
+        total_hit += len(hit)
+        total_lines += len(lines)
+        percent = 100.0 * len(hit) / len(lines) if lines else 100.0
+        rows.append((path.name, percent, len(hit), len(lines)))
+    for name, percent, hit, count in rows:
+        print(f"  {name:<18} {percent:6.1f}%  ({hit}/{count})")
+    total = 100.0 * total_hit / total_lines if total_lines else 0.0
+    print(f"  {'TOTAL':<18} {total:6.1f}%  ({total_hit}/{total_lines})")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "measure":
+        return measure()
+    if argv and argv[0] == "check":
+        argv = argv[1:]
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    return check(argv[0])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
