@@ -10,7 +10,7 @@ Two claims are pinned here:
   speedup lands in the benchmark archive).
 """
 
-from repro.experiments.common import clear_run_cache, wall_clock
+from repro.experiments.common import wall_clock
 from repro.experiments.parallel import run_report
 
 _IDS = ["table2", "fig4", "fig8"]
@@ -29,12 +29,12 @@ def test_parallel_campaign(run_once, preset, benchmark):
 def test_cache_warm_vs_cold(run_once, preset, benchmark, tmp_path):
     """One cached experiment: the warm rerun must hit on every artifact."""
     cache_dir = tmp_path / "artifacts"
-    clear_run_cache()
+    preset.run_cache.clear()
     start = wall_clock()
     cold = run_report(preset, only=["fig2"], jobs=1, cache_dir=cache_dir)
     cold_s = wall_clock() - start
 
-    clear_run_cache()
+    preset.run_cache.clear()
     start = wall_clock()
     warm = run_once(run_report, preset, only=["fig2"], jobs=1, cache_dir=cache_dir)
     warm_s = wall_clock() - start

@@ -8,9 +8,12 @@ from __future__ import annotations
 
 from repro.analysis.checkers import (  # noqa: F401
     api_hygiene,
+    cross_module_units,
     determinism,
     docs_quality,
     experiment_invariants,
+    parallel_safety,
+    rng_taint,
     time_safety,
     unit_safety,
 )

@@ -31,6 +31,8 @@ HYGIENE_SCOPE = (
     "repro._units",
     "repro.errors",
     "repro.obs",
+    "repro.workloads",
+    "repro.experiments",
 )
 
 #: Dunder methods whose signatures the runtime fixes anyway.

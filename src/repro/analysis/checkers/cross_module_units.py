@@ -1,0 +1,347 @@
+"""Cross-module unit-flow rules (RPR501, RPR502, RPR503).
+
+The paper's headline numbers are unit conversions all the way down:
+AMAT in nanoseconds (Eq. 1) feeds IPC, capacities are bytes, service
+targets are milliseconds.  A nanosecond expression handed to a ``_ms``
+parameter two modules away shifts every derived figure by 10^6 while
+all self-consistent tests stay green — exactly the class of bug a
+per-file linter cannot see.  These rules run over the
+:mod:`repro.analysis.project` program model: units are inferred from
+``repro._units`` anchors and name suffixes, propagated through
+assignments and function return summaries, and checked at every
+resolved call edge in the program.
+
+* RPR501 — an argument whose inferred unit disagrees with the unit the
+  callee's parameter name declares (``f(deadline_ms=amat_ns)``),
+  across module boundaries.
+* RPR502 — an assignment or return whose value unit disagrees with
+  the unit the target (or enclosing function) name declares.
+* RPR503 — addition/subtraction of two expressions with different
+  inferred units (``total_ns + queue_ms``); anchor-vs-anchor mixes
+  are RPR002's per-file territory and are skipped here.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import (
+    ProjectChecker,
+    ProjectContext,
+    Rule,
+    Violation,
+)
+from repro.analysis.project.callgraph import (
+    CallSite,
+    call_graph_for,
+    dotted_name,
+)
+from repro.analysis.project.model import (
+    FunctionInfo,
+    ProgramModel,
+    model_for,
+)
+from repro.analysis.project.units import (
+    UnitEnv,
+    UnitInferencer,
+    describe,
+    unit_of_name,
+)
+from repro.analysis.registry import register
+
+RPR501 = Rule(
+    id="RPR501",
+    name="cross-module-argument-unit",
+    summary="Argument unit disagrees with the callee parameter's declared "
+    "unit suffix.",
+    suggestion="convert explicitly with repro._units factors at the call "
+    "site, or rename one side so the units agree",
+    category="unit-flow",
+)
+
+RPR502 = Rule(
+    id="RPR502",
+    name="assigned-unit-mismatch",
+    summary="Value unit disagrees with the unit the target or function "
+    "name declares.",
+    suggestion="convert the value with repro._units factors, or rename "
+    "the binding to match the unit it actually holds",
+    category="unit-flow",
+)
+
+RPR503 = Rule(
+    id="RPR503",
+    name="mixed-unit-arithmetic",
+    summary="Addition or subtraction mixes two different inferred units.",
+    suggestion="normalize both operands to one unit (via repro._units "
+    "factors) before combining them",
+    category="unit-flow",
+)
+
+#: Return-summary fixpoint rounds; unit lattices are tiny, 4 suffices
+#: for any call chain the repo plausibly grows.
+_MAX_ROUNDS = 4
+
+
+def _call_unit_resolver(model: ProgramModel, module: str, summaries: dict):
+    """Unit of a resolved call, from the interprocedural summaries."""
+
+    def call_unit(node: ast.Call) -> str | None:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        resolved = model.resolve(module, dotted)
+        if resolved is None:
+            return None
+        return summaries.get(resolved)
+
+    return call_unit
+
+
+class _UnitWalker(ast.NodeVisitor):
+    """Walks one function body (or module body) propagating units.
+
+    With ``sink`` set, reports RPR501/502 findings as it goes; the
+    additive mismatches the inferencer records become RPR503 afterwards.
+    """
+
+    def __init__(
+        self,
+        inferencer: UnitInferencer,
+        fn: FunctionInfo | None = None,
+        callsites: dict[int, CallSite] | None = None,
+        sink=None,
+    ) -> None:
+        self.inferencer = inferencer
+        self.env = inferencer.env
+        self.fn = fn
+        self.callsites = callsites or {}
+        self.sink = sink
+        self.return_units: list[str | None] = []
+
+    # Nested defs (and module-level defs when walking a module body) are
+    # walked separately through the model; visiting them here would
+    # attribute their flows to the wrong scope.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        del node
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+    def _report(self, node: ast.AST, rule: Rule, message: str) -> None:
+        if self.sink is not None:
+            self.sink(node, rule, message)
+
+    def _check_target(self, target: ast.expr, unit: str | None, node) -> None:
+        if isinstance(target, ast.Name):
+            declared = unit_of_name(target.id)
+            if declared and unit and declared != unit:
+                self._report(
+                    node,
+                    RPR502,
+                    f"{target.id} is {describe(declared)} by name but is "
+                    f"assigned {describe(unit)}",
+                )
+            self.env.bind(target.id, declared or unit)
+        elif isinstance(target, ast.Attribute):
+            declared = unit_of_name(target.attr)
+            if declared and unit and declared != unit:
+                self._report(
+                    node,
+                    RPR502,
+                    f"attribute {target.attr} is {describe(declared)} by "
+                    f"name but is assigned {describe(unit)}",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        unit = self.inferencer.infer(node.value)
+        for target in node.targets:
+            self._check_target(target, unit, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            unit = self.inferencer.infer(node.value)
+            self._check_target(node.target, unit, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)) and isinstance(
+            node.target, ast.Name
+        ):
+            target_unit = self.env.get(node.target.id)
+            value_unit = self.inferencer.infer(node.value)
+            if target_unit and value_unit and target_unit != value_unit:
+                self._report(
+                    node,
+                    RPR503,
+                    f"augmented assignment adds {describe(value_unit)} to "
+                    f"{node.target.id}, which holds {describe(target_unit)}",
+                )
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            unit = self.inferencer.infer(node.value)
+            self.return_units.append(unit)
+            if self.fn is not None:
+                declared = unit_of_name(self.fn.name)
+                if declared and unit and declared != unit:
+                    self._report(
+                        node,
+                        RPR502,
+                        f"{self.fn.name}() declares {describe(declared)} by "
+                        f"name but returns {describe(unit)}",
+                    )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        # Binding the loop target to the element unit of the iterable is
+        # rarely resolvable; name-suffix fallback in the env covers the
+        # common ``for step_ns in ...`` case.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        site = self.callsites.get(id(node))
+        if site is not None:
+            for param, arg in site.map_arguments():
+                declared = unit_of_name(param)
+                if declared is None:
+                    continue
+                arg_unit = self.inferencer.infer(arg)
+                if arg_unit and arg_unit != declared:
+                    self._report(
+                        arg,
+                        RPR501,
+                        f"argument for parameter {param!r} of "
+                        f"{site.callee.qualname}() is "
+                        f"{describe(arg_unit)}, but the parameter declares "
+                        f"{describe(declared)}",
+                    )
+        self.generic_visit(node)
+
+
+def _walk(
+    model: ProgramModel,
+    module: str,
+    body: list[ast.stmt],
+    summaries: dict,
+    fn: FunctionInfo | None = None,
+    callsites: dict[int, CallSite] | None = None,
+    sink=None,
+) -> _UnitWalker:
+    inferencer = UnitInferencer(
+        env=UnitEnv(), call_unit=_call_unit_resolver(model, module, summaries)
+    )
+    walker = _UnitWalker(
+        inferencer=inferencer, fn=fn, callsites=callsites, sink=sink
+    )
+    for statement in body:
+        walker.visit(statement)
+    return walker
+
+
+def _summary_of(walker: _UnitWalker, fn: FunctionInfo) -> str | None:
+    declared = unit_of_name(fn.name)
+    if declared is not None:
+        return declared
+    known = {unit for unit in walker.return_units if unit is not None}
+    if len(known) == 1:
+        return known.pop()
+    return None
+
+
+def _return_summaries(model: ProgramModel) -> dict[str, str | None]:
+    """Function qualname -> return unit, to a (bounded) fixpoint."""
+    summaries: dict[str, str | None] = {}
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for fn in model.functions.values():
+            walker = _walk(model, fn.module, fn.node.body, summaries, fn=fn)
+            unit = _summary_of(walker, fn)
+            if fn.qualname not in summaries or summaries[fn.qualname] != unit:
+                summaries[fn.qualname] = unit
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+@register
+class CrossModuleUnitChecker(ProjectChecker):
+    """Interprocedural unit-flow checking over the program model."""
+
+    rules = (RPR501, RPR502, RPR503)
+
+    def check_project(self, project: ProjectContext) -> list[Violation]:
+        model = model_for(project)
+        graph = call_graph_for(model)
+        summaries = _return_summaries(model)
+        violations: list[Violation] = []
+
+        def sink_for(path: str):
+            def sink(node: ast.AST, rule: Rule, message: str) -> None:
+                violations.append(
+                    self.project_report(
+                        path,
+                        rule,
+                        message,
+                        line=getattr(node, "lineno", 1),
+                    )
+                )
+
+            return sink
+
+        def drain_mismatches(walker: _UnitWalker, sink) -> None:
+            # The same BinOp can be inferred more than once (e.g. as an
+            # assignment value and again as a call argument); report once.
+            seen: set[int] = set()
+            for mismatch in walker.inferencer.mismatches:
+                if mismatch.anchor_only or id(mismatch.node) in seen:
+                    continue
+                seen.add(id(mismatch.node))
+                sink(
+                    mismatch.node,
+                    RPR503,
+                    f"expression combines {describe(mismatch.left_unit)} "
+                    f"with {describe(mismatch.right_unit)}",
+                )
+
+        for fn in model.functions.values():
+            sink = sink_for(fn.path)
+            callsites = {
+                id(site.node): site for site in graph.callees_of(fn.qualname)
+            }
+            walker = _walk(
+                model,
+                fn.module,
+                fn.node.body,
+                summaries,
+                fn=fn,
+                callsites=callsites,
+                sink=sink,
+            )
+            drain_mismatches(walker, sink)
+
+        for info in model.modules.values():
+            sink = sink_for(info.ctx.path)
+            walker = _walk(
+                model, info.name, info.ctx.tree.body, summaries, sink=sink
+            )
+            drain_mismatches(walker, sink)
+
+        return violations
+
+
+def call_graph_summaries(model: ProgramModel) -> dict[str, str | None]:
+    """Public accessor for tests: the computed return-unit summaries."""
+    return _return_summaries(model)
+
+
+__all__ = [
+    "CrossModuleUnitChecker",
+    "RPR501",
+    "RPR502",
+    "RPR503",
+    "call_graph_summaries",
+]

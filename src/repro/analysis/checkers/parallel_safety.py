@@ -1,0 +1,378 @@
+"""Parallel-safety rules (RPR701, RPR702).
+
+The PR 4 experiment runner guarantees serial and parallel runs are
+byte-identical.  The guarantee holds only while pool-dispatched code
+keeps its hands off module-level state: a spawned worker starts from a
+fresh import, so parent-process writes are invisible to it, and its own
+writes die with it.  These rules find the code that breaks that
+contract through any number of call layers:
+
+* RPR701 — a function reachable from a pool-dispatched entry point
+  mutates module-level state (rebinding via ``global``, item/attribute
+  assignment, or a mutating method call on a module-level container).
+  The mutation silently diverges between serial and parallel execution.
+* RPR702 — pool-dispatched code *reads* mutable module-level state that
+  some parent-process-only code path writes; spawned workers see the
+  stale import-time value instead.
+
+Dispatch roots are collected from ``submit``/``map``/``apply_async``
+first arguments, ``Process(target=...)``, and — because the runner
+dispatches ``module.run`` dynamically — the ``run()`` entry point of
+every experiment-contract module.  ``ProcessPoolExecutor(initializer=
+...)`` trees form a separate root set: state they install per worker is
+the sanctioned pattern, so globals whose writers all live there are
+exempt, as are globals only written at import time (registries).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.base import (
+    ProjectChecker,
+    ProjectContext,
+    Rule,
+    Violation,
+)
+from repro.analysis.project.callgraph import (
+    CallGraph,
+    call_graph_for,
+    dotted_name,
+)
+from repro.analysis.project.model import (
+    FunctionInfo,
+    ProgramModel,
+    model_for,
+)
+from repro.analysis.registry import register
+
+RPR701 = Rule(
+    id="RPR701",
+    name="pool-global-mutation",
+    summary="Pool-dispatched code mutates module-level state, breaking "
+    "serial-vs-parallel equality.",
+    suggestion="pass state through arguments and return values, or merge "
+    "per-worker deltas explicitly in the task wrapper",
+    category="parallel-safety",
+)
+
+RPR702 = Rule(
+    id="RPR702",
+    name="pool-divergent-read",
+    summary="Pool-dispatched code reads mutable module-level state that "
+    "only the parent process writes.",
+    suggestion="carry the value in the task payload, or install it per "
+    "worker via the pool initializer",
+    category="parallel-safety",
+)
+
+#: Executor/pool methods whose first argument is dispatched to workers.
+_DISPATCH_METHODS = frozenset(
+    {"submit", "map", "apply", "apply_async", "starmap", "imap",
+     "imap_unordered"}
+)
+
+#: Container methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "popleft",
+        "clear",
+        "remove",
+        "discard",
+        "insert",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: The runner resolves experiment modules dynamically and calls their
+#: ``run()``; the same stem contract RPR201 enforces identifies them.
+_EXPERIMENT_RUN_RE = re.compile(
+    r"^repro\.experiments\.(fig\d+|table\d+|power|discussion|ablations|slo)$"
+)
+
+
+def _local_bindings(fn: FunctionInfo) -> tuple[set[str], set[str]]:
+    """(names local to the function, names declared ``global``).
+
+    Python scoping makes any name assigned anywhere in the body (without
+    a ``global`` declaration) local for the *whole* body, so one
+    pre-scan settles every later read.  Nested defs have their own
+    scopes and are excluded.
+    """
+    local: set[str] = set(fn.positional) | set(fn.kwonly)
+    if fn.vararg:
+        local.add(fn.vararg)
+    if fn.kwarg:
+        local.add(fn.kwarg)
+    declared_global: set[str] = set()
+
+    # ast.walk cannot skip subtrees, so recurse by hand to prune nested
+    # function bodies (they are separate scopes).
+    def prune_walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.Global):
+                declared_global.update(child.names)
+            elif isinstance(child, ast.Name) and isinstance(
+                child.ctx, ast.Store
+            ):
+                local.add(child.id)
+            prune_walk(child)
+
+    for statement in fn.node.body:
+        if isinstance(statement, ast.Global):
+            declared_global.update(statement.names)
+        prune_walk(statement)
+    local -= declared_global
+    return local, declared_global
+
+
+class _StateAccessWalker(ast.NodeVisitor):
+    """Collects module-level state reads and mutations in one function."""
+
+    def __init__(self, model: ProgramModel, fn: FunctionInfo) -> None:
+        self.model = model
+        self.fn = fn
+        self.local, self.declared_global = _local_bindings(fn)
+        #: global qualname -> first node reading it.
+        self.reads: dict[str, ast.AST] = {}
+        #: global qualname -> first node mutating it.
+        self.mutations: dict[str, ast.AST] = {}
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        del node  # separate scope
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+    def _resolve_global(self, node: ast.expr) -> str | None:
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head = dotted.split(".", 1)[0]
+        if head in self.local:
+            return None
+        resolved = self.model.resolve(self.fn.module, dotted)
+        if resolved is not None and resolved in self.model.global_vars:
+            return resolved
+        return None
+
+    def _record_mutation(self, base: ast.expr, node: ast.AST) -> None:
+        qual = self._resolve_global(base)
+        if qual is not None:
+            self.mutations.setdefault(qual, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._visit_target(target, node)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._visit_target(node.target, node)
+        self.visit(node.value)
+
+    def _visit_target(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_global:
+                qual = f"{self.fn.module}.{target.id}"
+                if qual in self.model.global_vars:
+                    self.mutations.setdefault(qual, node)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            self._record_mutation(target.value, node)
+            if isinstance(target, ast.Subscript):
+                self.visit(target.slice)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._visit_target(element, node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                self._record_mutation(target.value, node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            self._record_mutation(node.func.value, node)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            qual = self._resolve_global(node)
+            if qual is not None:
+                self.reads.setdefault(qual, node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        qual = self._resolve_global(node)
+        if qual is not None:
+            self.reads.setdefault(qual, node)
+            return  # resolved the whole chain; don't re-resolve the head
+        self.generic_visit(node)
+
+
+def _resolved_callable(
+    model: ProgramModel, module: str, node: ast.expr
+) -> FunctionInfo | None:
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    resolved = model.resolve(module, dotted)
+    if resolved is None:
+        return None
+    return model.function_at(resolved)
+
+
+def collect_dispatch_roots(
+    model: ProgramModel,
+) -> tuple[set[str], set[str]]:
+    """(pool-dispatched roots, worker-initializer roots), as qualnames."""
+    dispatched: set[str] = set()
+    initializers: set[str] = set()
+    for fn in model.functions.values():
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DISPATCH_METHODS
+                and node.args
+            ):
+                target = _resolved_callable(model, fn.module, node.args[0])
+                if target is not None:
+                    dispatched.add(target.qualname)
+            terminal = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else node.func.id
+                if isinstance(node.func, ast.Name)
+                else None
+            )
+            for keyword in node.keywords:
+                if terminal == "Process" and keyword.arg == "target":
+                    target = _resolved_callable(
+                        model, fn.module, keyword.value
+                    )
+                    if target is not None:
+                        dispatched.add(target.qualname)
+                if keyword.arg == "initializer":
+                    target = _resolved_callable(
+                        model, fn.module, keyword.value
+                    )
+                    if target is not None:
+                        initializers.add(target.qualname)
+    # The runner imports experiment modules by name and calls run():
+    # invisible to the call graph, so the experiment contract itself
+    # defines these roots.
+    for qualname, fn in model.functions.items():
+        if fn.name == "run" and fn.class_name is None and _EXPERIMENT_RUN_RE.match(
+            fn.module
+        ):
+            dispatched.add(qualname)
+    return dispatched, initializers
+
+
+@register
+class ParallelSafetyChecker(ProjectChecker):
+    """Module-level state discipline for pool-dispatched call trees."""
+
+    rules = (RPR701, RPR702)
+
+    def check_project(self, project: ProjectContext) -> list[Violation]:
+        model = model_for(project)
+        graph = call_graph_for(model)
+        dispatched_roots, initializer_roots = collect_dispatch_roots(model)
+        if not dispatched_roots and not initializer_roots:
+            return []
+        reach = graph.transitive_callees(sorted(dispatched_roots))
+        init_reach = graph.transitive_callees(sorted(initializer_roots))
+
+        walkers: dict[str, _StateAccessWalker] = {}
+        for fn in model.functions.values():
+            walker = _StateAccessWalker(model, fn)
+            for statement in fn.node.body:
+                walker.visit(statement)
+            walkers[fn.qualname] = walker
+
+        # All writers of each global, anywhere in the program.
+        writers: dict[str, set[str]] = {}
+        for qualname, walker in walkers.items():
+            for global_qual in walker.mutations:
+                writers.setdefault(global_qual, set()).add(qualname)
+
+        violations: list[Violation] = []
+        for qualname in sorted(reach & set(walkers)):
+            fn = model.functions[qualname]
+            walker = walkers[qualname]
+            for global_qual, node in sorted(walker.mutations.items()):
+                if qualname in init_reach:
+                    continue  # worker-initializer installs are sanctioned
+                violations.append(
+                    self.project_report(
+                        fn.path,
+                        RPR701,
+                        f"{global_qual} is module-level state, but "
+                        f"{qualname}() runs in pool workers and mutates "
+                        "it here; the mutation diverges between serial "
+                        "and parallel runs",
+                        line=getattr(node, "lineno", 1),
+                    )
+                )
+            for global_qual, node in sorted(walker.reads.items()):
+                if global_qual in walker.mutations:
+                    continue  # the mutation finding covers this state
+                var = model.global_vars.get(global_qual)
+                if var is None or not (
+                    var.mutable_value or var.rebound_in_functions
+                ):
+                    continue
+                global_writers = writers.get(global_qual, set())
+                # Writers no in-graph function ever calls are import-time
+                # registration hooks (``register(...)`` at module level):
+                # spawn re-imports modules, so workers see identical state.
+                parent_writers = {
+                    writer
+                    for writer in global_writers
+                    if writer not in reach
+                    and writer not in init_reach
+                    and graph.by_callee.get(writer)
+                }
+                if not parent_writers:
+                    continue
+                violations.append(
+                    self.project_report(
+                        fn.path,
+                        RPR702,
+                        f"{qualname}() runs in pool workers and reads "
+                        f"mutable module-level {global_qual}, which is "
+                        "written by parent-process-only code "
+                        f"({', '.join(sorted(parent_writers))}); "
+                        "spawned workers see the stale import-time value",
+                        line=getattr(node, "lineno", 1),
+                    )
+                )
+        return violations
+
+
+__all__ = [
+    "CallGraph",
+    "ParallelSafetyChecker",
+    "RPR701",
+    "RPR702",
+    "collect_dispatch_roots",
+]

@@ -1,0 +1,320 @@
+"""RNG/determinism taint rules (RPR601, RPR602).
+
+RPR101 flags ambient randomness *inside* simulation packages, but it is
+blind to the leak that matters most in practice: an RNG constructed
+elsewhere and handed into a simulation through a call chain.  These
+rules track seeded-vs-ambient generators over the
+:mod:`repro.analysis.project` call graph:
+
+* RPR601 — an *unseeded* generator (``random.Random()``,
+  ``numpy.random.default_rng()`` with no seed, any ``SystemRandom``)
+  created outside the simulation scope flows into it: directly as a
+  call argument, or transitively through a parameter that some callee
+  eventually forwards into simulation code (computed as a backward
+  "leaky parameter" fixpoint over the call graph).
+* RPR602 — a *module-level* generator object reaches simulation code,
+  seeded or not: shared global RNG state couples streams across call
+  sites and across workers, so results depend on call order even when
+  every individual seed is pinned.
+
+Generators seeded at the call site and threaded through parameters are
+the sanctioned pattern and never flagged here.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import (
+    ProjectChecker,
+    ProjectContext,
+    Rule,
+    Violation,
+    module_matches,
+)
+from repro.analysis.checkers.determinism import SIMULATION_SCOPE
+from repro.analysis.project.callgraph import (
+    CallGraph,
+    CallSite,
+    call_graph_for,
+    dotted_name,
+)
+from repro.analysis.project.model import (
+    FunctionInfo,
+    GlobalVar,
+    ProgramModel,
+    model_for,
+)
+from repro.analysis.registry import register
+
+RPR601 = Rule(
+    id="RPR601",
+    name="unseeded-rng-flow",
+    summary="Unseeded RNG created outside the simulation scope flows "
+    "into it through the call graph.",
+    suggestion="construct the generator with an explicit seed "
+    "(random.Random(seed) / numpy.random.default_rng(seed)) before "
+    "passing it toward simulation code",
+    category="determinism",
+)
+
+RPR602 = Rule(
+    id="RPR602",
+    name="shared-global-rng",
+    summary="Module-level RNG object is used by or flows into "
+    "simulation code.",
+    suggestion="construct a generator per run and thread it through "
+    "arguments; module-level RNG state couples streams across call "
+    "sites and workers",
+    category="determinism",
+)
+
+#: Constructors producing generator objects.  ``SystemRandom`` draws from
+#: the OS entropy pool and is unseeded by construction.
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+    }
+)
+
+_ALWAYS_UNSEEDED = frozenset({"random.SystemRandom"})
+
+#: Fixpoint bound for the leaky-parameter propagation; monotone over
+#: finite parameter sets, so this is a safety valve, not a tuning knob.
+_MAX_ROUNDS = 8
+
+
+def _in_sim_scope(module: str) -> bool:
+    return module_matches(module, SIMULATION_SCOPE)
+
+
+def _rng_construction(
+    model: ProgramModel, module: str, node: ast.expr
+) -> tuple[str, bool] | None:
+    """(constructor name, seeded) when ``node`` constructs a generator."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    resolved = model.resolve(module, dotted)
+    if resolved not in _RNG_CONSTRUCTORS:
+        return None
+    if resolved in _ALWAYS_UNSEEDED:
+        return resolved, False
+    seeded = bool(node.args) or any(
+        kw.arg in ("seed", "x") for kw in node.keywords
+    )
+    return resolved, seeded
+
+
+def leaky_params(model: ProgramModel, graph: CallGraph) -> dict[str, set[str]]:
+    """Per function: parameters whose values can reach simulation code.
+
+    Every parameter of a function *defined in* the simulation scope is
+    leaky by definition; outside it, a parameter is leaky when some call
+    site forwards it (as a bare name) into a leaky parameter of a
+    resolved callee.  The backward propagation runs to a fixpoint.
+    """
+    leaky: dict[str, set[str]] = {}
+    for fn in model.functions.values():
+        if _in_sim_scope(fn.module):
+            leaky[fn.qualname] = set(fn.all_params())
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for fn in model.functions.values():
+            if _in_sim_scope(fn.module):
+                continue
+            own_params = set(fn.all_params())
+            current = leaky.setdefault(fn.qualname, set())
+            for site in graph.callees_of(fn.qualname):
+                callee_leaks = leaky.get(site.callee.qualname)
+                if not callee_leaks:
+                    continue
+                for param, arg in site.map_arguments():
+                    if (
+                        param in callee_leaks
+                        and isinstance(arg, ast.Name)
+                        and arg.id in own_params
+                        and arg.id not in current
+                    ):
+                        current.add(arg.id)
+                        changed = True
+        if not changed:
+            break
+    return leaky
+
+
+def _rng_globals(model: ProgramModel) -> dict[str, GlobalVar]:
+    """Module-level variables bound to generator constructions."""
+    found: dict[str, GlobalVar] = {}
+    for var in model.global_vars.values():
+        if var.value is not None and _rng_construction(
+            model, var.module, var.value
+        ):
+            found[var.qualname] = var
+    return found
+
+
+class _TaintWalker(ast.NodeVisitor):
+    """Tracks unseeded-RNG locals through one function body."""
+
+    def __init__(
+        self,
+        checker: RngTaintChecker,
+        model: ProgramModel,
+        fn: FunctionInfo,
+        callsites: dict[int, CallSite],
+        leaky: dict[str, set[str]],
+        rng_globals: dict[str, GlobalVar],
+        violations: list[Violation],
+    ) -> None:
+        self.checker = checker
+        self.model = model
+        self.fn = fn
+        self.callsites = callsites
+        self.leaky = leaky
+        self.rng_globals = rng_globals
+        self.violations = violations
+        #: local name -> constructor description, for unseeded bindings.
+        self.tainted: dict[str, str] = {}
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        del node  # nested scopes are not attributable to this function
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            self.checker.project_report(
+                self.fn.path, rule, message, line=getattr(node, "lineno", 1)
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        construction = _rng_construction(self.model, self.fn.module, node.value)
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if construction is not None and not construction[1]:
+                self.tainted[target.id] = f"unseeded {construction[0]}()"
+            else:
+                self.tainted.pop(target.id, None)
+        self.generic_visit(node)
+
+    def _taint_of(self, arg: ast.expr) -> str | None:
+        """Taint description carried by an argument expression, if any."""
+        if isinstance(arg, ast.Name) and arg.id in self.tainted:
+            return self.tainted[arg.id]
+        construction = _rng_construction(self.model, self.fn.module, arg)
+        if construction is not None and not construction[1]:
+            return f"unseeded {construction[0]}()"
+        return None
+
+    def _global_rng_of(self, arg: ast.expr) -> str | None:
+        dotted = dotted_name(arg)
+        if dotted is None:
+            return None
+        resolved = self.model.resolve(self.fn.module, dotted)
+        if resolved in self.rng_globals:
+            return resolved
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        site = self.callsites.get(id(node))
+        if site is not None:
+            callee_leaks = self.leaky.get(site.callee.qualname, set())
+            for param, arg in site.map_arguments():
+                if param not in callee_leaks:
+                    continue
+                taint = self._taint_of(arg)
+                if taint is not None:
+                    self._report(
+                        RPR601,
+                        arg,
+                        f"{taint} reaches simulation code through "
+                        f"parameter {param!r} of {site.callee.qualname}()",
+                    )
+                    continue
+                shared = self._global_rng_of(arg)
+                if shared is not None:
+                    self._report(
+                        RPR602,
+                        arg,
+                        f"module-level RNG {shared} flows into simulation "
+                        f"code through parameter {param!r} of "
+                        f"{site.callee.qualname}()",
+                    )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self._check_global_use(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._check_global_use(node):
+            return  # don't re-resolve the inner chain
+        self.generic_visit(node)
+
+    def _check_global_use(self, node: ast.expr) -> bool:
+        if not _in_sim_scope(self.fn.module):
+            return False
+        shared = self._global_rng_of(node)
+        if shared is not None:
+            self._report(
+                RPR602,
+                node,
+                f"module-level RNG {shared} used inside simulation "
+                f"package {self.fn.module}",
+            )
+            return True
+        return False
+
+
+@register
+class RngTaintChecker(ProjectChecker):
+    """Interprocedural seeded-vs-ambient RNG tracking."""
+
+    rules = (RPR601, RPR602)
+
+    def check_project(self, project: ProjectContext) -> list[Violation]:
+        model = model_for(project)
+        graph = call_graph_for(model)
+        leaky = leaky_params(model, graph)
+        rng_globals = _rng_globals(model)
+        violations: list[Violation] = []
+
+        # A generator defined at module level *inside* the simulation
+        # scope is shared state regardless of who reads it.
+        for qual, var in rng_globals.items():
+            if _in_sim_scope(var.module):
+                violations.append(
+                    self.project_report(
+                        var.path,
+                        RPR602,
+                        f"module-level RNG {qual} defined inside "
+                        f"simulation package {var.module}",
+                        line=getattr(var.node, "lineno", 1),
+                    )
+                )
+
+        for fn in model.functions.values():
+            if _in_sim_scope(fn.module):
+                # Creations inside the scope are RPR101's (per-file) job;
+                # only shared-global *uses* are checked here.
+                walker = _TaintWalker(
+                    self, model, fn, {}, leaky, rng_globals, violations
+                )
+            else:
+                callsites = {
+                    id(site.node): site
+                    for site in graph.callees_of(fn.qualname)
+                }
+                walker = _TaintWalker(
+                    self, model, fn, callsites, leaky, rng_globals, violations
+                )
+            for statement in fn.node.body:
+                walker.visit(statement)
+        return violations

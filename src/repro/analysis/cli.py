@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write current violations to --baseline and exit clean",
     )
     parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite fixable violations in place before linting "
+        "(currently RPR001 magic size constants)",
+    )
+    parser.add_argument(
         "--statistics",
         action="store_true",
         help="append per-rule violation counts to text output",
@@ -124,6 +130,11 @@ def main(argv: list[str] | None = None) -> int:
     select = tuple(args.select) if args.select is not None else None
     ignore = tuple(args.ignore)
     try:
+        if args.fix:
+            from repro.analysis.fixes import fix_paths
+
+            for path, count in sorted(fix_paths(args.paths).items()):
+                print(f"fixed {count} violation(s) in {path}")
         if args.write_baseline:
             # Collect unfiltered violations, then persist them.
             report = lint_paths(args.paths, select=select, ignore=ignore)

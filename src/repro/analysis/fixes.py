@@ -1,0 +1,241 @@
+"""Source-rewriting autofixes: ``python -m repro.analysis --fix``.
+
+Currently one fix family, for RPR001 (magic-size-constant): raw
+power-of-1024 constants are rewritten to :mod:`repro._units`
+expressions — ``1 << 20`` becomes ``MiB``, ``4096`` bound to a
+size-like name becomes ``4 * KiB``, and a non-integral multiple like
+``1572864`` becomes ``int(1.5 * MiB)`` so the expression stays an int.
+The needed names are added to (or merged into) the module's
+``from repro._units import ...`` line.
+
+Detection is *the checker itself*: :class:`_FixCollector` subclasses
+:class:`~repro.analysis.checkers.unit_safety.UnitSafetyChecker` and
+captures the nodes RPR001 reports, so the fixer can never disagree with
+the linter about what is a violation.  Fixes on lines carrying a
+``# repro: noqa RPR001`` marker are skipped, matching the engine's
+suppression semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro._units import GiB, KiB, MiB
+from repro.analysis.base import FileContext, Rule
+from repro.analysis.checkers.unit_safety import RPR001, _SHIFT_UNITS, UnitSafetyChecker
+from repro.analysis.engine import collect_files, module_name_for
+from repro.analysis.noqa import is_suppressed
+
+#: Largest-first decomposition order, mirroring ``format_size``.
+_UNIT_FACTORS = ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB"))
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One textual replacement confined to a single source line."""
+
+    line: int  # 1-based, like ast linenos
+    col: int
+    end_col: int
+    replacement: str
+    #: ``repro._units`` names the replacement references.
+    names: frozenset[str]
+
+
+def _unit_expression(value: int) -> tuple[str, str] | None:
+    """(expression, unit name) for a byte constant, or None if hopeless.
+
+    Uses the largest unit the value reaches (``format_size`` style), so
+    ``41943040`` renders as ``40 * MiB`` rather than ``40960 * KiB``.
+    Non-integral multiples are wrapped in ``int(...)`` to keep the
+    rewritten expression an int like the literal it replaces.
+    """
+    for factor, name in _UNIT_FACTORS:
+        if value >= factor:
+            count = value / factor
+            if count == int(count):
+                if int(count) == 1:
+                    return name, name
+                return f"{int(count)} * {name}", name
+            if value % KiB == 0:
+                return f"int({count:.6g} * {name})", name
+            return None
+    return None
+
+
+def _fix_for(node: ast.AST) -> Fix | None:
+    """Build the replacement for one RPR001-reported node, if fixable."""
+    if (
+        getattr(node, "end_lineno", None) is None
+        or node.end_lineno != node.lineno  # type: ignore[attr-defined]
+    ):
+        return None  # never splice across physical lines
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.LShift):
+        unit = _SHIFT_UNITS.get(getattr(node.right, "value", None))
+        if unit is None:
+            return None
+        return Fix(node.lineno, node.col_offset, node.end_col_offset, unit, frozenset({unit}))
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        rendered = _unit_expression(node.value)
+        if rendered is None:
+            return None
+        expression, unit = rendered
+        return Fix(
+            node.lineno, node.col_offset, node.end_col_offset, expression, frozenset({unit})
+        )
+    return None
+
+
+class _FixCollector(UnitSafetyChecker):
+    """RPR001 detection that also captures the offending nodes.
+
+    ``_report_once`` dedups findings per (line, rule) for readable lint
+    output; fixes are collected *before* that dedup so two magic
+    constants on one line are both rewritten.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fixes: list[Fix] = []
+        self._fix_spans: set[tuple[int, int]] = set()
+
+    def _report_once(
+        self, node: ast.AST, rule: Rule, message: str, suggestion: str | None = None
+    ) -> None:
+        if rule.id == RPR001.id:
+            fix = _fix_for(node)
+            if fix is not None and (fix.line, fix.col) not in self._fix_spans:
+                self._fix_spans.add((fix.line, fix.col))
+                self.fixes.append(fix)
+        super()._report_once(node, rule, message, suggestion)
+
+
+def _module_level_bindings(tree: ast.Module) -> dict[str, str | None]:
+    """Top-level name -> source module (None for plain assignments)."""
+    bindings: dict[str, str | None] = {}
+    for statement in tree.body:
+        if isinstance(statement, ast.ImportFrom) and statement.level == 0:
+            for alias in statement.names:
+                bindings[alias.asname or alias.name] = statement.module
+        elif isinstance(statement, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                statement.targets
+                if isinstance(statement, ast.Assign)
+                else [statement.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    bindings[target.id] = None
+    return bindings
+
+
+def _ensure_import(source: str, names: set[str]) -> str:
+    """Add ``names`` to the module's ``from repro._units import`` line."""
+    tree = ast.parse(source)
+    lines = source.splitlines(keepends=True)
+    existing: ast.ImportFrom | None = None
+    last_import_end = 0
+    header_end = 0
+    for statement in tree.body:
+        if isinstance(statement, (ast.Import, ast.ImportFrom)):
+            last_import_end = statement.end_lineno or statement.lineno
+            if (
+                isinstance(statement, ast.ImportFrom)
+                and statement.module == "repro._units"
+                and statement.level == 0
+            ):
+                existing = statement
+        elif header_end == 0 and (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and isinstance(statement.value.value, str)
+        ):
+            header_end = statement.end_lineno or statement.lineno  # docstring
+
+    if existing is not None:
+        merged = sorted(
+            {alias.asname or alias.name for alias in existing.names} | names,
+            key=str.lower,
+        )
+        replacement = f"from repro._units import {', '.join(merged)}\n"
+        start, end = existing.lineno - 1, existing.end_lineno or existing.lineno
+        return "".join(lines[:start]) + replacement + "".join(lines[end:])
+
+    insert_at = last_import_end or header_end
+    new_line = f"from repro._units import {', '.join(sorted(names, key=str.lower))}\n"
+    if last_import_end == 0 and header_end > 0:
+        new_line = "\n" + new_line  # blank line after a bare docstring
+    return "".join(lines[:insert_at]) + new_line + "".join(lines[insert_at:])
+
+
+def fix_source(source: str, module: str = "repro._inline") -> tuple[str, int]:
+    """Apply RPR001 autofixes to a source string.
+
+    Returns ``(new_source, fixes_applied)``; the source comes back
+    unchanged (count 0) when the module is out of the checker's scope,
+    fails to parse, or has nothing to fix.  Fixes whose unit name is
+    shadowed by a top-level assignment in the module are skipped rather
+    than silently changing meaning.
+    """
+    if not UnitSafetyChecker.applies_to(module):
+        return source, 0
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+
+    collector = _FixCollector()
+    collector.check_file(
+        FileContext(path="<fix>", module=module, source=source, tree=tree)
+    )
+    if not collector.fixes:
+        return source, 0
+
+    bindings = _module_level_bindings(tree)
+    lines = source.splitlines(keepends=True)
+    applied: list[Fix] = []
+    for fix in collector.fixes:
+        raw_line = lines[fix.line - 1]
+        if is_suppressed(RPR001.id, raw_line):
+            continue
+        if any(
+            bindings.get(name, "repro._units") != "repro._units"
+            for name in fix.names
+        ):
+            continue  # unit name bound to something that is not ours
+        applied.append(fix)
+    if not applied:
+        return source, 0
+
+    for fix in sorted(applied, key=lambda f: (f.line, f.col), reverse=True):
+        raw_line = lines[fix.line - 1]
+        lines[fix.line - 1] = (
+            raw_line[: fix.col] + fix.replacement + raw_line[fix.end_col :]
+        )
+    new_source = "".join(lines)
+
+    needed = set().union(*(fix.names for fix in applied)) - {
+        name
+        for name, origin in bindings.items()
+        if origin == "repro._units"
+    }
+    if needed:
+        new_source = _ensure_import(new_source, needed)
+    return new_source, len(applied)
+
+
+def fix_paths(paths: list[Path]) -> dict[str, int]:
+    """Rewrite RPR001 violations in place under ``paths``.
+
+    Returns ``{path: fixes_applied}`` for every file that changed.
+    """
+    changed: dict[str, int] = {}
+    for path in collect_files(paths):
+        source = path.read_text(encoding="utf-8")
+        new_source, count = fix_source(source, module_name_for(path))
+        if count:
+            path.write_text(new_source, encoding="utf-8")
+            changed[str(path)] = count
+    return changed

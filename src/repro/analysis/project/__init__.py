@@ -1,0 +1,47 @@
+"""Whole-program analysis layer.
+
+Everything under this package sees the *project* — all collected files at
+once — rather than one file at a time.  :func:`model_for` builds (and
+caches per :class:`~repro.analysis.base.ProjectContext`) a
+:class:`~repro.analysis.project.model.ProgramModel`: a symbol table of
+every module, function, class, and module-level variable, the import
+alias map of each module, and a conservatively resolved call graph.  The
+interprocedural pass families (cross-module unit inference RPR5xx, RNG
+taint RPR6xx, parallel safety RPR7xx) are ordinary
+:class:`~repro.analysis.base.ProjectChecker` subclasses that query this
+model instead of re-walking raw ASTs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.project.callgraph import (
+    CallGraph,
+    CallSite,
+    build_call_graph,
+    call_graph_for,
+)
+from repro.analysis.project.model import (
+    FunctionInfo,
+    GlobalVar,
+    ModuleInfo,
+    ProgramModel,
+    build_model,
+    model_for,
+)
+from repro.analysis.project.units import UnitEnv, infer_unit, unit_of_name
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "GlobalVar",
+    "ModuleInfo",
+    "ProgramModel",
+    "UnitEnv",
+    "build_call_graph",
+    "build_model",
+    "call_graph_for",
+    "infer_unit",
+    "model_for",
+    "unit_of_name",
+]

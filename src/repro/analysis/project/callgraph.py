@@ -1,0 +1,172 @@
+"""Conservatively resolved call graph over the program model.
+
+Each :class:`CallSite` links a caller function to a *statically
+resolvable* callee: a direct name, a module-attribute chain
+(``cache_mod.activate(...)``), a constructor (``Cls(...)`` →
+``Cls.__init__``), or a ``self.method(...)`` call within a class.
+Anything more dynamic (callbacks held in variables, ``getattr``,
+bound-method objects passed around) produces no edge — passes built on
+this graph under-approximate reachability by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.project.model import FunctionInfo, ProgramModel
+
+
+@dataclass
+class CallSite:
+    """One resolved call expression inside ``caller``."""
+
+    caller: FunctionInfo
+    callee: FunctionInfo
+    node: ast.Call
+
+    def map_arguments(self) -> list[tuple[str, ast.expr]]:
+        """(parameter name, argument expression) pairs for this call.
+
+        Starred arguments and arguments beyond the callee's positional
+        arity (swallowed by ``*args``/``**kwargs``) are omitted.
+        """
+        pairs: list[tuple[str, ast.expr]] = []
+        index = 0
+        for arg in self.node.args:
+            if isinstance(arg, ast.Starred):
+                break
+            param = self.callee.param_for_positional(index)
+            if param is not None:
+                pairs.append((param, arg))
+            index += 1
+        named = set(self.callee.positional) | set(self.callee.kwonly)
+        for keyword in self.node.keywords:
+            if keyword.arg is not None and keyword.arg in named:
+                pairs.append((keyword.arg, keyword.value))
+        return pairs
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class CallGraph:
+    """All resolved call sites, indexed by caller and callee."""
+
+    sites: list[CallSite] = field(default_factory=list)
+    by_caller: dict[str, list[CallSite]] = field(default_factory=dict)
+    by_callee: dict[str, list[CallSite]] = field(default_factory=dict)
+
+    def add(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self.by_caller.setdefault(site.caller.qualname, []).append(site)
+        self.by_callee.setdefault(site.callee.qualname, []).append(site)
+
+    def callees_of(self, qualname: str) -> list[CallSite]:
+        return self.by_caller.get(qualname, [])
+
+    def transitive_callees(self, roots: list[str]) -> set[str]:
+        """Qualnames reachable from ``roots`` through resolved edges."""
+        seen: set[str] = set()
+        queue = deque(roots)
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            for site in self.callees_of(current):
+                if site.callee.qualname not in seen:
+                    queue.append(site.callee.qualname)
+        return seen
+
+
+class _FunctionCallCollector(ast.NodeVisitor):
+    """Finds and resolves every Call inside one function body."""
+
+    def __init__(
+        self, graph: CallGraph, model: ProgramModel, function: FunctionInfo
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.function = function
+        #: Names bound locally (params, assignments) shadow module symbols.
+        self.local_names = set(function.positional) | set(function.kwonly)
+        if function.vararg:
+            self.local_names.add(function.vararg)
+        if function.kwarg:
+            self.local_names.add(function.kwarg)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs are skipped: their calls only run when the closure
+        # is invoked, which this graph cannot attribute soundly.
+        del node
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            for child in ast.walk(target):
+                if isinstance(child, ast.Name):
+                    self.local_names.add(child.id)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = self.resolve_callee(node.func)
+        if callee is not None:
+            self.graph.add(
+                CallSite(caller=self.function, callee=callee, node=node)
+            )
+        self.generic_visit(node)
+
+    def resolve_callee(self, func: ast.expr) -> FunctionInfo | None:
+        # self.method() within a class body.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and self.function.class_name is not None
+        ):
+            qual = (
+                f"{self.function.module}.{self.function.class_name}.{func.attr}"
+            )
+            return self.model.functions.get(qual)
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head = dotted.split(".", 1)[0]
+        if head in self.local_names and head not in ("self",):
+            return None  # shadowed by a local binding
+        resolved = self.model.resolve(self.function.module, dotted)
+        if resolved is None:
+            return None
+        return self.model.function_at(resolved)
+
+
+def build_call_graph(model: ProgramModel) -> CallGraph:
+    """Resolve every call site in every function of the model."""
+    graph = CallGraph()
+    for function in model.functions.values():
+        collector = _FunctionCallCollector(graph, model, function)
+        for statement in function.node.body:
+            collector.visit(statement)
+    return graph
+
+
+def call_graph_for(model: ProgramModel) -> CallGraph:
+    """Memoized call graph of one model (shared by the 6xx/7xx passes)."""
+    cached = getattr(model, "_call_graph", None)
+    if cached is None:
+        cached = build_call_graph(model)
+        model._call_graph = cached  # type: ignore[attr-defined]
+    return cached

@@ -1,0 +1,404 @@
+"""Program model: symbol table, import aliases, module-level state.
+
+:func:`build_model` walks every collected file once and produces a
+:class:`ProgramModel` the interprocedural passes share.  Resolution is
+deliberately *conservative*: a name that cannot be traced to a known
+definition simply resolves to ``None`` and downstream passes stay
+silent about it — a whole-program linter must under-approximate, never
+guess.
+
+Known approximations (see docs/ANALYSIS.md for the full list):
+
+* attribute chains are resolved only through module aliases and
+  ``self.`` within a class — arbitrary object attributes are opaque;
+* ``*`` imports, ``__getattr__`` modules, and dynamic ``importlib``
+  use are invisible;
+* re-exports through package ``__init__`` modules are followed one
+  level (the common ``from repro.x.y import f`` → ``repro.x.f`` case).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.base import FileContext, ProjectContext
+
+#: Constructor calls whose result is a mutable container.
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "defaultdict", "Counter", "OrderedDict", "deque"}
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, addressable by qualified name."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    #: Positional parameters in call order (``self``/``cls`` included for
+    #: methods; call-site mapping skips it via :attr:`is_method`).
+    positional: list[str] = field(default_factory=list)
+    kwonly: list[str] = field(default_factory=list)
+    vararg: str | None = None
+    kwarg: str | None = None
+    is_method: bool = False
+    class_name: str | None = None
+
+    def param_for_positional(self, index: int) -> str | None:
+        """Parameter name bound by positional argument ``index``.
+
+        The index is in *call-site* terms: for methods the implicit
+        ``self`` slot is already skipped.
+        """
+        if self.is_method:
+            index += 1
+        if index < len(self.positional):
+            return self.positional[index]
+        return None
+
+    def all_params(self) -> list[str]:
+        params = [*self.positional, *self.kwonly]
+        if self.is_method and params:
+            params = params[1:]
+        return params
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its methods and (for dataclasses) fields."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    path: str
+    methods: set[str] = field(default_factory=set)
+    #: Field names in declaration order when the class is a dataclass
+    #: (they double as its constructor signature); None otherwise.
+    dataclass_fields: list[str] | None = None
+
+
+@dataclass
+class GlobalVar:
+    """One module-level variable binding."""
+
+    name: str
+    module: str
+    node: ast.stmt
+    path: str
+    #: The bound expression of the (last) module-level assignment.
+    value: ast.expr | None = None
+    #: Initialized to a mutable container literal/factory.
+    mutable_value: bool = False
+    #: Some function in the module rebinds it via ``global``.
+    rebound_in_functions: bool = False
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the model knows about one module."""
+
+    name: str
+    ctx: FileContext
+    is_package: bool = False
+    #: local alias -> fully qualified dotted target.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: local qualname ("f", "Cls.m") -> FunctionInfo.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+
+
+@dataclass
+class ProgramModel:
+    """Symbol table + import graph over every collected file."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    #: qualified name -> FunctionInfo, e.g. "repro.core.perf_model.PerfModel.ipc".
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: qualified name -> GlobalVar.
+    global_vars: dict[str, GlobalVar] = field(default_factory=dict)
+    #: Synthesized dataclass __init__ signatures, kept out of
+    #: :attr:`functions` so graph builders never walk a ClassDef body.
+    _synthesized_inits: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    # -- name resolution ----------------------------------------------
+
+    def resolve(self, module: str, dotted: str) -> str | None:
+        """Resolve ``dotted`` as used inside ``module`` to a qualified name.
+
+        Returns the fully qualified dotted name, or None when the head
+        segment is neither an import alias nor a module-level symbol.
+        """
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = info.imports.get(head)
+        if target is None:
+            if (
+                head in info.functions
+                or head in info.classes
+                or head in info.globals
+            ):
+                target = f"{module}.{head}"
+            else:
+                return None
+        qualified = f"{target}.{rest}" if rest else target
+        return self._canonical(qualified)
+
+    def _canonical(self, qualified: str) -> str:
+        """Follow one level of package re-export (``pkg.__init__`` alias)."""
+        parts = qualified.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            info = self.modules.get(prefix)
+            if info is None:
+                continue
+            remainder = parts[cut:]
+            if info.is_package and remainder:
+                # ``from repro.experiments import composed_run`` — the
+                # package __init__ imported it from the defining module.
+                reexport = info.imports.get(remainder[0])
+                if reexport is not None:
+                    return self._canonical(
+                        ".".join([reexport, *remainder[1:]])
+                    )
+            break
+        return qualified
+
+    def function_at(self, qualified: str) -> FunctionInfo | None:
+        """FunctionInfo for a qualified name; classes map to __init__.
+
+        Dataclasses without an explicit ``__init__`` get a synthesized
+        one whose parameters are the field names in declaration order,
+        so constructor keyword/positional units are checkable.
+        """
+        found = self.functions.get(qualified)
+        if found is not None:
+            return found
+        # ``pkg.mod.Cls`` called as a constructor.
+        parts = qualified.rsplit(".", 1)
+        if len(parts) == 2:
+            module_name, obj = parts
+            info = self.modules.get(module_name)
+            if info is not None and obj in info.classes:
+                explicit = self.functions.get(f"{qualified}.__init__")
+                if explicit is not None:
+                    return explicit
+                cls = info.classes[obj]
+                if cls.dataclass_fields is not None:
+                    cached = self._synthesized_inits.get(qualified)
+                    if cached is None:
+                        cached = FunctionInfo(
+                            qualname=f"{qualified}.__init__",
+                            module=module_name,
+                            name="__init__",
+                            node=cls.node,  # type: ignore[arg-type]
+                            path=cls.path,
+                            positional=["self", *cls.dataclass_fields],
+                            is_method=True,
+                            class_name=obj,
+                        )
+                        self._synthesized_inits[qualified] = cached
+                    return cached
+        return None
+
+    def global_at(self, qualified: str) -> GlobalVar | None:
+        return self.global_vars.get(qualified)
+
+
+def _package_of(module: str, is_package: bool) -> str:
+    if is_package:
+        return module
+    return module.rpartition(".")[0]
+
+
+def _record_import(info: ModuleInfo, node: ast.Import | ast.ImportFrom) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.asname is not None:
+                info.imports[alias.asname] = alias.name
+            else:
+                root = alias.name.split(".")[0]
+                info.imports[root] = root
+        return
+    base = node.module or ""
+    if node.level:
+        package = _package_of(info.name, info.is_package)
+        for _ in range(node.level - 1):
+            package = package.rpartition(".")[0]
+        base = f"{package}.{node.module}" if node.module else package
+    for alias in node.names:
+        if alias.name == "*":
+            continue
+        info.imports[alias.asname or alias.name] = f"{base}.{alias.name}"
+
+
+def _function_info(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    module: str,
+    path: str,
+    class_name: str | None,
+) -> FunctionInfo:
+    args = node.args
+    local = f"{class_name}.{node.name}" if class_name else node.name
+    decorators = {
+        dec.id for dec in node.decorator_list if isinstance(dec, ast.Name)
+    } | {
+        dec.attr for dec in node.decorator_list if isinstance(dec, ast.Attribute)
+    }
+    is_method = class_name is not None and "staticmethod" not in decorators
+    return FunctionInfo(
+        qualname=f"{module}.{local}",
+        module=module,
+        name=node.name,
+        node=node,
+        path=path,
+        positional=[a.arg for a in (*args.posonlyargs, *args.args)],
+        kwonly=[a.arg for a in args.kwonlyargs],
+        vararg=args.vararg.arg if args.vararg else None,
+        kwarg=args.kwarg.arg if args.kwarg else None,
+        is_method=is_method,
+        class_name=class_name,
+    )
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(
+        node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _collect_module(ctx: FileContext) -> ModuleInfo:
+    is_package = ctx.path.replace("\\", "/").endswith("/__init__.py")
+    info = ModuleInfo(name=ctx.module, ctx=ctx, is_package=is_package)
+
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            _record_import(info, node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _function_info(node, ctx.module, ctx.path, None)
+            info.functions[node.name] = fn
+        elif isinstance(node, ast.ClassDef):
+            methods: set[str] = set()
+            fields: list[str] = []
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fn = _function_info(item, ctx.module, ctx.path, node.name)
+                    info.functions[f"{node.name}.{item.name}"] = fn
+                    methods.add(item.name)
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    fields.append(item.target.id)
+            info.classes[node.name] = ClassInfo(
+                name=node.name,
+                module=ctx.module,
+                node=node,
+                path=ctx.path,
+                methods=methods,
+                dataclass_fields=(
+                    fields if _is_dataclass(node) and "__init__" not in methods
+                    else None
+                ),
+            )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    info.globals[target.id] = GlobalVar(
+                        name=target.id,
+                        module=ctx.module,
+                        node=node,
+                        path=ctx.path,
+                        value=node.value,
+                        mutable_value=_is_mutable_value(node.value),
+                    )
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            info.globals[node.target.id] = GlobalVar(
+                name=node.target.id,
+                module=ctx.module,
+                node=node,
+                path=ctx.path,
+                value=node.value,
+                mutable_value=(
+                    node.value is not None and _is_mutable_value(node.value)
+                ),
+            )
+
+    # ``global X`` inside any function marks X as rebindable from code.
+    for walker in ast.walk(ctx.tree):
+        if isinstance(walker, ast.Global):
+            for name in walker.names:
+                var = info.globals.get(name)
+                if var is not None:
+                    var.rebound_in_functions = True
+                else:
+                    info.globals[name] = GlobalVar(
+                        name=name,
+                        module=ctx.module,
+                        node=walker,
+                        path=ctx.path,
+                        rebound_in_functions=True,
+                    )
+    return info
+
+
+def build_model(project: ProjectContext) -> ProgramModel:
+    """Parse every collected file into one :class:`ProgramModel`."""
+    model = ProgramModel()
+    for ctx in project.files:
+        info = _collect_module(ctx)
+        model.modules[info.name] = info
+        for fn in info.functions.values():
+            model.functions[fn.qualname] = fn
+        for var in info.globals.values():
+            model.global_vars[var.qualname] = var
+    return model
+
+
+def model_for(project: ProjectContext) -> ProgramModel:
+    """The (memoized) program model of one lint run.
+
+    Several project checkers need the same model; it is cached on the
+    ``ProjectContext`` instance so one lint run builds it exactly once.
+    """
+    cached = getattr(project, "_program_model", None)
+    if cached is None:
+        cached = build_model(project)
+        project._program_model = cached  # type: ignore[attr-defined]
+    return cached

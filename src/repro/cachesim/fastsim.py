@@ -112,12 +112,12 @@ def resolve_engine(engine: str, fast_supported: bool = True) -> str:
             "engine='fast' requested but the fast kernel is not exact for "
             "this configuration; use engine='auto' to fall back"
         )
-    _COUNTERS["fallbacks"] += 1
+    _COUNTERS["fallbacks"] += 1  # repro: noqa RPR701 -- process-local telemetry, never feeds results; the parallel runner merges per-worker deltas (parallel._run_task)
     return "reference"
 
 
 def _record_kernel(accesses: int) -> None:
-    _COUNTERS["kernel_calls"] += 1
+    _COUNTERS["kernel_calls"] += 1  # repro: noqa RPR701 -- process-local telemetry, never feeds results; the parallel runner merges per-worker deltas (parallel._run_task)
     _COUNTERS["accesses"] += accesses
 
 
@@ -164,27 +164,35 @@ def reset_counters() -> None:
     _KERNEL_SECONDS = 0.0
 
 
-def record_metrics(registry: MetricsRegistry, include_timing: bool = False) -> None:
+def record_metrics(
+    registry: MetricsRegistry,
+    include_timing: bool = False,
+    since: dict[str, float] | None = None,
+) -> None:
     """Publish ``repro.fastsim.*`` counters into an obs registry.
 
     ``include_timing`` additionally publishes the (host-dependent) kernel
     wall time; leave it off for anything that must be byte-reproducible.
+    ``since`` (an earlier :func:`counters_snapshot`) publishes only the
+    delta — the parallel runner uses this so reused pool workers don't
+    double-count across tasks.
     """
+    base = since or {}
     registry.counter(
         "repro.fastsim.accesses",
         help="Accesses simulated by vectorized fastsim kernels.",
         unit="accesses",
-    ).inc(_COUNTERS["accesses"])
+    ).inc(_COUNTERS["accesses"] - int(base.get("accesses", 0)))
     registry.counter(
         "repro.fastsim.kernel_calls",
         help="Vectorized kernel invocations.",
         unit="calls",
-    ).inc(_COUNTERS["kernel_calls"])
+    ).inc(_COUNTERS["kernel_calls"] - int(base.get("kernel_calls", 0)))
     registry.counter(
         "repro.fastsim.fallbacks",
         help="engine='auto' requests served by the reference engine.",
         unit="calls",
-    ).inc(_COUNTERS["fallbacks"])
+    ).inc(_COUNTERS["fallbacks"] - int(base.get("fallbacks", 0)))
     if include_timing:
         registry.gauge(
             "repro.fastsim.kernel_wall_time_s",

@@ -15,6 +15,38 @@ from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
 
+class RunCache:
+    """Memoized composed runs, carried by one :class:`RunPreset` instance.
+
+    Sharing follows the preset *object*: the runner hands a single preset
+    to every experiment of a campaign, so Table I and Figures 3/6/13/14
+    keep sharing the S1-leaf run, while a different preset instance — or
+    a spawned pool worker, since the cache pickles empty — starts fresh.
+    Keeping the memo off module-level state is what preserves the
+    parallel runner's serial-vs-parallel byte-equality contract
+    (analysis rule RPR701).
+    """
+
+    def __init__(self) -> None:
+        self.runs: dict[tuple, ComposedHierarchy] = {}
+
+    def clear(self) -> None:
+        """Drop every memoized run (tests use this to control memory)."""
+        self.runs.clear()
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    # Composed runs hold hundreds of MiB of streams and must never cross
+    # a process boundary: workers rebuild from the preset alone.
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        del state
+        self.runs = {}
+
+
 @dataclass(frozen=True)
 class RunPreset:
     """Stream sizes and scale for one experiment campaign.
@@ -38,6 +70,12 @@ class RunPreset:
     #: (``"reference" | "fast" | "auto"``); every engine is bit-identical,
     #: so this only trades wall time.
     engine: str = "auto"
+    #: Per-preset composed-run memo; excluded from equality/hash/repr and
+    #: rebuilt fresh by ``dataclasses.replace`` and unpickling, so caches
+    #: never alias across campaigns or processes.
+    run_cache: RunCache = field(
+        default_factory=RunCache, init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         from repro.cachesim.fastsim import ENGINES
@@ -94,7 +132,7 @@ class ExperimentResult:
     #: byte-identical.
     duration_s: float | None = None
 
-    def add(self, **row) -> None:
+    def add(self, **row: object) -> None:
         """Append one result row."""
         self.rows.append(row)
 
@@ -164,8 +202,6 @@ def _format_cell(value) -> str:
 # Memoized composed runs
 # ----------------------------------------------------------------------
 
-_COMPOSED_RUNS: dict[tuple, ComposedHierarchy] = {}
-
 
 def platform_hierarchy(platform: str, preset: RunPreset) -> HierarchyConfig:
     """The scaled cache hierarchy of a named platform."""
@@ -187,18 +223,18 @@ def composed_run(
     """Build (and memoize) the composed hierarchy run for one profile.
 
     Several experiments share the same underlying run (Table I, Figures 3,
-    6, 13, 14 all start from the S1-leaf streams), so runs are cached per
-    (profile, preset, platform, threads, engine).
+    6, 13, 14 all start from the S1-leaf streams), so runs are cached on
+    the preset's :class:`RunCache` per (profile, platform, threads); the
+    remaining knobs are fields of the preset itself.
     """
     preset = preset or RunPreset.quick()
     if isinstance(profile, str):
         profile = get_profile(profile)
     threads = threads if threads is not None else preset.threads
-    key = (
-        profile.name, preset.name, preset.scale, platform, threads, preset.engine
-    )
-    if key in _COMPOSED_RUNS:
-        return _COMPOSED_RUNS[key]
+    cached_runs = preset.run_cache.runs
+    key = (profile.name, platform, threads)
+    if key in cached_runs:
+        return cached_runs[key]
 
     config = platform_hierarchy(platform, preset)
     block_size = config.l1i.geometry.block_size
@@ -216,7 +252,7 @@ def composed_run(
     run = ComposedHierarchy(
         streams, profile.rates, config, threads=threads, engine=preset.engine
     )
-    _COMPOSED_RUNS[key] = run
+    cached_runs[key] = run
     return run
 
 
@@ -226,7 +262,7 @@ def discard_run(
     platform: str = "plt1",
     threads: int | None = None,
 ) -> None:
-    """Evict one memoized run.
+    """Evict one memoized run from the preset's cache.
 
     Table I iterates all thirteen profiles; at the standard preset each
     composed run holds hundreds of MiB of streams, so runs that no other
@@ -234,11 +270,4 @@ def discard_run(
     """
     name = profile if isinstance(profile, str) else profile.name
     threads = threads if threads is not None else preset.threads
-    _COMPOSED_RUNS.pop(
-        (name, preset.name, preset.scale, platform, threads, preset.engine), None
-    )
-
-
-def clear_run_cache() -> None:
-    """Drop memoized runs (tests use this to control memory)."""
-    _COMPOSED_RUNS.clear()
+    preset.run_cache.runs.pop((name, platform, threads), None)

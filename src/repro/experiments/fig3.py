@@ -15,7 +15,7 @@ from repro.cpu.branch import (
     generate_branch_stream,
     measure_branch_mpki,
 )
-from repro.cpu.topdown import PipelineMetrics, TopDownModel
+from repro.cpu.topdown import PipelineMetrics, TopDownBreakdown, TopDownModel
 from repro.experiments.common import ExperimentResult, RunPreset, composed_run
 from repro.memtrace.trace import Segment
 from repro.workloads.profiles import get_profile
@@ -33,8 +33,8 @@ _PAPER = {
 }
 
 
-def breakdown(preset: RunPreset):
-    """The modeled Top-Down breakdown of the S1 leaf."""
+def breakdown(preset: RunPreset) -> tuple[TopDownBreakdown, float]:
+    """The modeled Top-Down breakdown of the S1 leaf, plus its IPC."""
     profile = get_profile("s1-leaf-plt1")
     run_ = composed_run(profile, preset, platform="plt1")
     stream = generate_branch_stream(

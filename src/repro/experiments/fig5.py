@@ -20,7 +20,10 @@ EXPERIMENT_ID = "fig5"
 TITLE = "Accessed working set for heap and shard vs. threads"
 
 
-def working_sets(preset: RunPreset, thread_counts=(1, 2, 4, 8, 16)):
+def working_sets(
+    preset: RunPreset,
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> dict[int, dict[Segment, float]]:
     """(threads -> {segment: paper-equivalent GiB}) from generated traces."""
     profile = get_profile("s1-leaf")
     instructions = max(20_000, preset.heap_events // 80)

@@ -10,16 +10,19 @@ snapshot) back over pickle, and reassembles everything in **canonical
 experiment order**, so rendered tables and the ``--metrics-out`` JSON are
 byte-identical to a serial run regardless of completion order.
 
-Two pieces of run-level telemetry ride along, merged across processes
+Three pieces of run-level telemetry ride along, merged across processes
 with :meth:`~repro.obs.metrics.MetricsSnapshot.merge_all`:
 
 * ``repro.experiments.wall_time_ms`` — a gauge with one labeled child
   per experiment (host wall time, workers' clocks);
 * ``repro.cache.*`` — the artifact-cache counters of every worker, when
   ``cache_dir`` enables the content-addressed trace cache
-  (:mod:`repro.memtrace.cache`).
+  (:mod:`repro.memtrace.cache`);
+* ``repro.fastsim.*`` — the vectorized-kernel counters of every worker
+  (:mod:`repro.cachesim.fastsim`), which would otherwise die with the
+  worker process.
 
-Both are deliberately kept *out* of the per-experiment snapshots that
+All are deliberately kept *out* of the per-experiment snapshots that
 ``--metrics-out`` serializes: wall time and cache traffic vary run to
 run, and the determinism contract of the output document matters more.
 
@@ -96,9 +99,11 @@ def _run_task(
     """Run one experiment; return its result plus run-level telemetry.
 
     The telemetry snapshot carries this task's wall-time gauge child and
-    the *delta* of the worker's cache counters (workers are reused across
-    tasks, so absolute counters would double-count when merged).
+    the *deltas* of the worker's cache and fastsim counters (workers are
+    reused across tasks, so absolute counters would double-count when
+    merged).
     """
+    from repro.cachesim import fastsim
     from repro.experiments.runner import _fallback_metrics
     from repro.memtrace import cache as cache_mod
 
@@ -107,6 +112,7 @@ def _run_task(
     cache_before = (
         cache.metrics.snapshot("repro.cache") if cache is not None else None
     )
+    fastsim_before = fastsim.counters_snapshot()
 
     start = wall_clock()
     result = module.run(preset)
@@ -122,6 +128,7 @@ def _run_task(
         help="Host wall time of each experiment module's run().",
         unit="ms",
     ).labels(experiment=experiment_id).set(duration_s * 1000.0)
+    fastsim.record_metrics(telemetry, since=fastsim_before)
     snapshot = telemetry.snapshot()
     if cache is not None:
         snapshot = snapshot.merge(

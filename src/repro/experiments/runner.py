@@ -11,6 +11,7 @@ import dataclasses
 import json
 import sys
 import time
+from types import ModuleType
 
 from repro.experiments import (
     ablations,
@@ -86,7 +87,7 @@ def _fallback_metrics(result: ExperimentResult, preset: RunPreset) -> None:
     result.attach_metrics(registry)
 
 
-def select_modules(only: list[str] | None = None):
+def select_modules(only: list[str] | None = None) -> list[ModuleType]:
     """The experiment modules to run, in canonical (ALL_MODULES) order.
 
     Unknown ids raise :class:`ConfigurationError` — silently returning a

@@ -43,7 +43,7 @@ from repro.memtrace.trace import AccessKind, Segment, Trace
 if TYPE_CHECKING:  # runtime import stays inside the generators (cycle)
     from repro.memtrace.cache import ArtifactCache
 
-_LINE = 64  # generator-internal line granularity (bytes)
+_LINE_BYTES = 64  # generator-internal line granularity (bytes)
 
 
 @dataclass(frozen=True)
@@ -168,7 +168,7 @@ class WorkloadConfig:
     @property
     def scaled_shard_bytes(self) -> int:
         """Shard size after scaling (at least one line per term)."""
-        return max(self.shard_terms * _LINE, int(self.shard_bytes * self.scale))
+        return max(self.shard_terms * _LINE_BYTES, int(self.shard_bytes * self.scale))
 
     @property
     def data_events_per_ki(self) -> float:
@@ -185,9 +185,9 @@ class CodeModel:
     """Instruction-fetch address stream over a Zipfian function mix."""
 
     def __init__(self, config: WorkloadConfig, base: int, rng: np.random.Generator):
-        self._base_line = base // _LINE
-        func_lines = max(2, config.scaled_function_bytes // _LINE)
-        total_lines = max(func_lines, config.scaled_code_bytes // _LINE)
+        self._base_line = base // _LINE_BYTES
+        func_lines = max(2, config.scaled_function_bytes // _LINE_BYTES)
+        total_lines = max(func_lines, config.scaled_code_bytes // _LINE_BYTES)
         self._func_lines = func_lines
         self._num_funcs = max(1, total_lines // func_lines)
         self._rng = rng
@@ -200,7 +200,7 @@ class CodeModel:
     @property
     def footprint_bytes(self) -> int:
         """Bytes of code that can ever be fetched."""
-        return self._num_funcs * self._func_lines * _LINE
+        return self._num_funcs * self._func_lines * _LINE_BYTES
 
     def generate(self, n_events: int) -> np.ndarray:
         """Return ``n_events`` byte addresses of instruction fetches."""
@@ -220,7 +220,7 @@ class CodeModel:
             chunks.append(lines)
             produced += len(lines)
         lines = np.concatenate(chunks)[:n_events]
-        return lines * _LINE
+        return lines * _LINE_BYTES
 
 
 class HeapModel:
@@ -265,9 +265,9 @@ class ShardModel:
     """
 
     def __init__(self, config: WorkloadConfig, base: int, rng: np.random.Generator):
-        self._base_line = base // _LINE
+        self._base_line = base // _LINE_BYTES
         self._rng = rng
-        total_lines = config.scaled_shard_bytes // _LINE
+        total_lines = config.scaled_shard_bytes // _LINE_BYTES
         n_terms = min(config.shard_terms, total_lines)
         weights = np.arange(1, n_terms + 1, dtype=np.float64) ** -config.shard_list_zipf
         lines = np.maximum(1, (weights / weights.sum() * total_lines)).astype(np.int64)
@@ -281,7 +281,7 @@ class ShardModel:
     @property
     def footprint_bytes(self) -> int:
         """Total bytes of posting lists."""
-        return int(self._list_lines.sum()) * _LINE
+        return int(self._list_lines.sum()) * _LINE_BYTES
 
     def generate(self, n_events: int) -> np.ndarray:
         """Return ``n_events`` byte addresses of shard (read-only) accesses."""
@@ -314,7 +314,7 @@ class ShardModel:
             chunks.append(sequential_runs(starts, lengths))
             produced += len(chunks[-1])
         lines = np.concatenate(chunks)[:n_events]
-        return (self._base_line + lines) * _LINE
+        return (self._base_line + lines) * _LINE_BYTES
 
 
 class StackModel:

@@ -30,7 +30,7 @@ from repro.search.indexer import IndexShard
 from repro.search.scoring import Bm25Parameters, bm25_score
 from repro.search.simmem import SimulatedMemory, TraceRecorder
 
-_LINE = 64
+_LINE_BYTES = 64
 
 #: Instruction-cost model per unit of work (coarse, Haswell-ish).
 _INSTR_PER_POSTING_DECODE = 6
@@ -144,7 +144,7 @@ class LeafServer:
         addr = self._code_addr.get(stage, -1)
         if addr < 0:
             return
-        size = max(_LINE, int(fraction * (4 * KiB)))
+        size = max(_LINE_BYTES, int(fraction * (4 * KiB)))
         recorder.touch(addr, size, AccessKind.INSTR, Segment.CODE)
 
     def _touch(self, addr: int, size: int, kind: AccessKind, segment: Segment) -> None:
@@ -263,13 +263,13 @@ class LeafServer:
         acc = self._accumulator_addr + 8 * (local_ids % self._accumulator_slots)
         recorder = self.recorder
         recorder.touch_many(
-            (meta // _LINE) * _LINE, AccessKind.LOAD, Segment.HEAP
+            (meta // _LINE_BYTES) * _LINE_BYTES, AccessKind.LOAD, Segment.HEAP
         )
         recorder.touch_many(
-            (rank // _LINE) * _LINE, AccessKind.LOAD, Segment.HEAP
+            (rank // _LINE_BYTES) * _LINE_BYTES, AccessKind.LOAD, Segment.HEAP
         )
         recorder.touch_many(
-            (acc // _LINE) * _LINE, AccessKind.STORE, Segment.HEAP
+            (acc // _LINE_BYTES) * _LINE_BYTES, AccessKind.STORE, Segment.HEAP
         )
 
     # ------------------------------------------------------------------

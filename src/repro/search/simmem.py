@@ -17,7 +17,7 @@ from repro.memtrace.address_space import AddressSpace
 from repro.memtrace.trace import AccessKind, Segment, Trace
 from repro.obs.metrics import MetricsRegistry
 
-_LINE = 64
+_LINE_BYTES = 64
 
 
 class SimulatedMemory:
@@ -43,7 +43,7 @@ class SimulatedMemory:
             )
         if size <= 0:
             raise ConfigurationError(f"allocation size must be positive: {size}")
-        aligned = -(-size // _LINE) * _LINE
+        aligned = -(-size // _LINE_BYTES) * _LINE_BYTES
         base = self._cursor[segment]
         region = self.address_space.region(segment)
         if base + aligned > region.end:
@@ -111,9 +111,9 @@ class TraceRecorder:
         """Record an access to ``[addr, addr + size)``, one event per line."""
         if size <= 0:
             raise ConfigurationError(f"access size must be positive: {size}")
-        first = addr // _LINE
-        last = (addr + size - 1) // _LINE
-        lines = np.arange(first, last + 1, dtype=np.int64) * _LINE
+        first = addr // _LINE_BYTES
+        last = (addr + size - 1) // _LINE_BYTES
+        lines = np.arange(first, last + 1, dtype=np.int64) * _LINE_BYTES
         self._addr.append(lines)
         self._kind.append(np.full(len(lines), int(kind), np.uint8))
         self._segment.append(np.full(len(lines), int(segment), np.uint8))

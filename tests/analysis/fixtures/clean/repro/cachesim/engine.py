@@ -1,0 +1,8 @@
+"""Simulation core (fixture): deterministic, state passed explicitly."""
+
+
+def simulate(rng, events: int) -> int:
+    total = 0
+    for _ in range(events):
+        total += rng.randrange(64)
+    return total

@@ -1,0 +1,18 @@
+"""Driver doing everything right (fixture): the new passes stay silent."""
+
+import random
+
+from repro.cachesim.engine import simulate
+
+
+def total_ns(hit_ns: float, queue_ns: float) -> float:
+    return hit_ns + queue_ns
+
+
+def run_simulation(events: int, seed: int) -> int:
+    rng = random.Random(seed)
+    return simulate(rng, events)
+
+
+def latency_ms(span_ns: float) -> float:
+    return span_ns / 1_000_000

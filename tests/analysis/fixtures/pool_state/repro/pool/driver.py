@@ -1,0 +1,11 @@
+"""Pool driver (fixture): dispatches task() into spawned workers."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.pool.tasks import init_worker, set_scale, task
+
+
+def main(jobs: int) -> list[int]:
+    set_scale(2)
+    pool = ProcessPoolExecutor(max_workers=jobs, initializer=init_worker)
+    return list(pool.map(task, range(8)))

@@ -1,0 +1,17 @@
+"""Worker tasks (fixture): module-level state on both sides of the pool."""
+
+_RESULTS: dict[int, int] = {}
+_CONFIG: dict[str, int] = {"scale": 1}
+
+
+def task(n: int) -> int:
+    _RESULTS[n] = n * n
+    return n * _CONFIG["scale"]
+
+
+def set_scale(scale: int) -> None:
+    _CONFIG["scale"] = scale
+
+
+def init_worker(scale: int) -> None:
+    _CONFIG["scale"] = scale

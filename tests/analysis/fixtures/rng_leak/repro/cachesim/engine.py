@@ -1,0 +1,8 @@
+"""Simulation core (fixture): every parameter is leak-relevant."""
+
+
+def simulate(rng, events: int) -> int:
+    total = 0
+    for _ in range(events):
+        total += rng.randrange(64)
+    return total

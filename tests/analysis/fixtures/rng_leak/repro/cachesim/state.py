@@ -1,0 +1,5 @@
+"""Module-level generator inside the simulation scope (fixture)."""
+
+import random
+
+_GEN = random.Random(99)

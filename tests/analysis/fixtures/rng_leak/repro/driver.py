@@ -1,0 +1,20 @@
+"""Driver (fixture): builds generators outside the simulation scope."""
+
+import random
+
+from repro.cachesim.engine import simulate
+
+_POOL_RNG = random.Random(1234)
+
+
+def run_ambient(events: int) -> int:
+    rng = random.Random()
+    return simulate(rng, events)
+
+
+def run_shared(events: int) -> int:
+    return simulate(_POOL_RNG, events)
+
+
+def run_seeded(events: int, seed: int) -> int:
+    return simulate(random.Random(seed), events)

@@ -1,0 +1,18 @@
+"""Serving layer (fixture): wired to the timing helpers with wrong units."""
+
+from unitbad.timing import check_slo, total_latency_ns
+
+BUDGET_MS = total_latency_ns(4.0, 90.0)
+
+
+def respond(queue_ms: float) -> bool:
+    latency = total_latency_ns(4.0, 90.0)
+    return check_slo(latency, deadline_ms=200.0)
+
+
+def window_ms(span_ns: float) -> float:
+    return span_ns
+
+
+def drift(start_ns: float, queue_ms: float) -> float:
+    return start_ns + queue_ms

@@ -1,0 +1,9 @@
+"""Timing helpers (fixture): unit-correct on their own."""
+
+
+def total_latency_ns(hit_ns: float, miss_ns: float) -> float:
+    return hit_ns + miss_ns
+
+
+def check_slo(latency_ms: float, deadline_ms: float) -> bool:
+    return latency_ms <= deadline_ms

@@ -1,0 +1,115 @@
+"""Fixture-corpus tests for the whole-program passes (RPR5xx/6xx/7xx).
+
+Each fixture under ``fixtures/`` is a small multi-module package with a
+known-bad cross-module flow; the tests pin exact rule IDs and source
+locations so the interprocedural machinery cannot silently regress into
+either blindness or noise.
+"""
+
+from pathlib import Path
+
+from repro.analysis import all_rules, lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+NEW_PASS_SELECT = ("RPR5", "RPR6", "RPR7")
+
+
+def _findings(subdir: str, select: tuple[str, ...]) -> set[tuple[str, int, str]]:
+    report = lint_paths([FIXTURES / subdir], select=select)
+    return {(Path(v.path).name, v.line, v.rule) for v in report.violations}
+
+
+class TestRegistration:
+    def test_new_passes_registered_and_on_by_default(self):
+        ids = {rule.id for rule in all_rules()}
+        assert {
+            "RPR501",
+            "RPR502",
+            "RPR503",
+            "RPR601",
+            "RPR602",
+            "RPR701",
+            "RPR702",
+        } <= ids
+
+    def test_new_rules_have_catalog_entries(self):
+        for rule in all_rules():
+            if rule.id[3] in "567":
+                assert rule.summary and rule.suggestion and rule.category
+
+
+class TestUnitFlowFixture:
+    def test_exact_findings(self):
+        assert _findings("unitbad", ("RPR5",)) == {
+            # Module-level assignment: _ms name bound a cross-module ns value.
+            ("serve.py", 5, "RPR502"),
+            # ns local handed to the latency_ms parameter one module away.
+            ("serve.py", 10, "RPR501"),
+            # Function named *_ms returning its ns parameter.
+            ("serve.py", 14, "RPR502"),
+            # ns + ms inside one expression.
+            ("serve.py", 18, "RPR503"),
+        }
+
+    def test_consistent_callee_module_is_silent(self):
+        findings = _findings("unitbad", ("RPR5",))
+        assert not {f for f in findings if f[0] == "timing.py"}
+
+
+class TestRngTaintFixture:
+    def test_exact_findings(self):
+        assert _findings("rng_leak", ("RPR6",)) == {
+            # Generator defined at module level inside the simulation scope.
+            ("state.py", 5, "RPR602"),
+            # Unseeded Random() flowing into simulate()'s rng parameter.
+            ("driver.py", 12, "RPR601"),
+            # Shared module-level generator flowing into simulation code.
+            ("driver.py", 16, "RPR602"),
+        }
+
+    def test_seeded_callsite_rng_is_sanctioned(self):
+        # run_seeded (driver.py:20) threads random.Random(seed) through:
+        # the sanctioned pattern, and it must never be flagged.
+        lines = {f[1] for f in _findings("rng_leak", ("RPR6",))}
+        assert 20 not in lines
+
+
+class TestParallelSafetyFixture:
+    def test_exact_findings(self):
+        assert _findings("pool_state", ("RPR7",)) == {
+            # task() is pool.map-dispatched and writes _RESULTS.
+            ("tasks.py", 8, "RPR701"),
+            # task() reads _CONFIG, which only set_scale (parent) writes.
+            ("tasks.py", 9, "RPR702"),
+        }
+
+    def test_initializer_writes_are_sanctioned(self):
+        # init_worker (tasks.py:17) mutates _CONFIG but is installed via
+        # ProcessPoolExecutor(initializer=...): the sanctioned pattern.
+        lines = {f[1] for f in _findings("pool_state", ("RPR7",))}
+        assert 17 not in lines
+
+
+class TestCleanFixture:
+    def test_new_passes_stay_silent(self):
+        report = lint_paths([FIXTURES / "clean"], select=NEW_PASS_SELECT)
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.ok, f"false positives on the clean fixture:\n{rendered}"
+
+
+class TestNoqaExtendsToNewPasses:
+    def test_noqa_suppresses_project_findings(self, tmp_path):
+        package = tmp_path / "unitfix"
+        package.mkdir()
+        (package / "__init__.py").write_text("")
+        (package / "mod.py").write_text(
+            "def f(deadline_ms):\n"
+            "    return deadline_ms\n"
+            "\n"
+            "def g(span_ns):\n"
+            "    return f(span_ns)  # repro: noqa RPR501\n"
+        )
+        report = lint_paths([package], select=("RPR5",))
+        assert report.ok
+        assert report.suppressed_noqa == 1

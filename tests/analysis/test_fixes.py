@@ -1,0 +1,138 @@
+"""Tests for the RPR001 autofixer (``python -m repro.analysis --fix``)."""
+
+from pathlib import Path
+
+from repro.analysis.cli import EXIT_CLEAN, main
+from repro.analysis.engine import lint_source
+from repro.analysis.fixes import fix_paths, fix_source
+
+MODULE = "repro.cachesim.fixture"
+
+
+def _rpr001(source: str) -> list:
+    return [
+        v for v in lint_source(source, module=MODULE) if v.rule == "RPR001"
+    ]
+
+
+class TestRewrites:
+    def test_shift_constant_becomes_unit_name(self):
+        out, n = fix_source("CACHE = 1 << 20\n", module=MODULE)
+        assert n == 1
+        assert "CACHE = MiB" in out
+        assert "from repro._units import MiB" in out
+
+    def test_conversion_factor_in_arithmetic(self):
+        out, n = fix_source("total = 3 * 1073741824\n", module=MODULE)
+        assert n == 1
+        assert "total = 3 * GiB" in out
+
+    def test_size_named_binding(self):
+        out, n = fix_source("page_size = 4096\n", module=MODULE)
+        assert n == 1
+        assert "page_size = 4 * KiB" in out
+
+    def test_fractional_multiple_stays_int(self):
+        out, n = fix_source("half_size = 1572864\n", module=MODULE)
+        assert n == 1
+        assert "half_size = int(1.5 * MiB)" in out
+        namespace: dict = {"int": int}
+        exec(out.replace("from repro._units import MiB", "MiB = 1 << 20"), namespace)
+        assert namespace["half_size"] == 1572864
+
+    def test_semantics_preserved(self):
+        source = (
+            "shard_size = 40 * 1048576\n"
+            "window_size = 1 << 10\n"
+            "budget_size = 3221225472\n"
+        )
+        out, n = fix_source(source, module=MODULE)
+        assert n == 3
+        from repro import _units
+
+        namespace = {name: getattr(_units, name) for name in ("KiB", "MiB", "GiB")}
+        exec(out.splitlines()[-3] + "\n" + out.splitlines()[-2] + "\n" + out.splitlines()[-1], namespace)
+        assert namespace["shard_size"] == 40 * 1048576
+        assert namespace["window_size"] == 1 << 10
+        assert namespace["budget_size"] == 3221225472
+
+
+class TestGuards:
+    def test_noqa_lines_are_skipped(self):
+        source = "exempt_size = 8192  # repro: noqa RPR001\n"
+        out, n = fix_source(source, module=MODULE)
+        assert n == 0 and out == source
+
+    def test_out_of_scope_module_untouched(self):
+        source = "size = 1 << 20\n"
+        out, n = fix_source(source, module="repro.analysis.something")
+        assert n == 0 and out == source
+
+    def test_anchored_expressions_untouched(self):
+        source = "from repro._units import KiB\nwindow = 64 * KiB\n"
+        out, n = fix_source(source, module=MODULE)
+        assert n == 0 and out == source
+
+    def test_shadowed_unit_name_blocks_fix(self):
+        source = "MiB = 'not ours'\nbuf_size = 1048576\n"
+        out, n = fix_source(source, module=MODULE)
+        assert n == 0 and out == source
+
+    def test_count_names_untouched(self):
+        source = "static_branches = 8192\n"
+        out, n = fix_source(source, module=MODULE)
+        assert n == 0 and out == source
+
+    def test_syntax_error_untouched(self):
+        out, n = fix_source("def broken(:\n", module=MODULE)
+        assert n == 0
+
+
+class TestImports:
+    def test_merges_into_existing_units_import(self):
+        source = "from repro._units import KiB\n\npage_size = 4096\ntotal = 2097152\n"
+        out, n = fix_source(source, module=MODULE)
+        assert n == 2
+        assert out.count("from repro._units import") == 1
+        assert "from repro._units import KiB, MiB" in out
+
+    def test_inserts_after_import_block(self):
+        source = '"""Doc."""\n\nimport os\n\nbuffer_size = 65536\n'
+        out, n = fix_source(source, module=MODULE)
+        assert n == 1
+        lines = out.splitlines()
+        assert lines.index("from repro._units import KiB") > lines.index("import os")
+
+    def test_result_lints_clean_and_is_idempotent(self):
+        source = "page_size = 4096\nshard_size = 40 * 1048576\ncache = 1 << 30\n"
+        out, n = fix_source(source, module=MODULE)
+        assert n == 3
+        assert _rpr001(out) == []
+        again, n_again = fix_source(out, module=MODULE)
+        assert n_again == 0 and again == out
+
+
+class TestFileAndCli:
+    def _package(self, tmp_path: Path) -> Path:
+        package = tmp_path / "repro" / "cachesim"
+        package.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        target = package / "geometry.py"
+        target.write_text("page_size = 4096\nline = 64\n")
+        return target
+
+    def test_fix_paths_rewrites_in_place(self, tmp_path):
+        target = self._package(tmp_path)
+        changed = fix_paths([tmp_path])
+        assert changed == {str(target): 1}
+        assert "page_size = 4 * KiB" in target.read_text()
+        # Second run: nothing left to do, file untouched.
+        assert fix_paths([tmp_path]) == {}
+
+    def test_cli_fix_flag_fixes_then_lints_clean(self, tmp_path, capsys):
+        target = self._package(tmp_path)
+        assert main([str(tmp_path), "--fix", "--select", "RPR001"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert f"fixed 1 violation(s) in {target}" in out
+        assert "0 violation(s)" in out

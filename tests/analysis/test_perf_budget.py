@@ -1,0 +1,29 @@
+"""Wall-time budget for the whole-program analysis.
+
+The interprocedural passes parse every file, build the program model and
+call graph, and run bounded fixpoints — all of which must stay cheap
+enough to run on every test session and CI push.  CI asserts the same
+<10s budget on the dedicated lint step; this test catches the regression
+locally first.  The budget is deliberately loose (the run takes ~1-2s on
+a laptop) so slow CI machines don't flake.
+"""
+
+import time
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BUDGET_SECONDS = 10.0
+
+
+def test_whole_program_analysis_under_budget():
+    start = time.perf_counter()
+    report = lint_paths([REPO_ROOT / "src" / "repro"])
+    elapsed = time.perf_counter() - start
+    assert report.files_checked > 80
+    assert elapsed < BUDGET_SECONDS, (
+        f"whole-program analysis took {elapsed:.1f}s, budget is "
+        f"{BUDGET_SECONDS:.0f}s — a fixpoint or model-building pass "
+        "likely regressed"
+    )

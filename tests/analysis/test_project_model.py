@@ -1,0 +1,213 @@
+"""Unit tests for the program model and call graph underneath RPR5xx-7xx."""
+
+import ast
+
+from repro.analysis.base import FileContext, ProjectContext
+from repro.analysis.checkers.parallel_safety import collect_dispatch_roots
+from repro.analysis.checkers.rng_taint import leaky_params
+from repro.analysis.project import build_model, call_graph_for
+
+
+def _ctx(module: str, source: str, path: str | None = None) -> FileContext:
+    if path is None:
+        path = module.replace(".", "/") + ".py"
+    return FileContext(
+        path=path, module=module, source=source, tree=ast.parse(source)
+    )
+
+
+def _model(modules: dict[str, str], packages: tuple[str, ...] = ()):
+    files = []
+    for name, source in modules.items():
+        path = None
+        if name in packages:
+            path = name.replace(".", "/") + "/__init__.py"
+        files.append(_ctx(name, source, path=path))
+    project = ProjectContext(files=files)
+    model = build_model(project)
+    return model, call_graph_for(model)
+
+
+class TestResolution:
+    def test_from_import_alias(self):
+        model, _ = _model(
+            {
+                "lib": "def f():\n    return 1\n",
+                "app": "from lib import f\n",
+            }
+        )
+        assert model.resolve("app", "f") == "lib.f"
+
+    def test_import_module_attribute(self):
+        model, _ = _model(
+            {
+                "lib": "def f():\n    return 1\n",
+                "app": "import lib\n",
+            }
+        )
+        assert model.resolve("app", "lib.f") == "lib.f"
+
+    def test_relative_import(self):
+        model, _ = _model(
+            {
+                "pkg": "",
+                "pkg.util": "def f():\n    return 1\n",
+                "pkg.main": "from .util import f\n",
+            },
+            packages=("pkg",),
+        )
+        assert model.resolve("pkg.main", "f") == "pkg.util.f"
+
+    def test_package_reexport_one_level(self):
+        model, _ = _model(
+            {
+                "pkg": "from pkg.impl import f\n",
+                "pkg.impl": "def f():\n    return 1\n",
+                "app": "import pkg\n",
+            },
+            packages=("pkg",),
+        )
+        assert model.resolve("app", "pkg.f") == "pkg.impl.f"
+
+    def test_unknown_names_resolve_to_none(self):
+        model, _ = _model({"app": "x = 1\n"})
+        assert model.resolve("app", "mystery.f") is None
+        assert model.resolve("nope", "f") is None
+
+
+class TestSymbolTable:
+    def test_dataclass_synthesized_init(self):
+        model, _ = _model(
+            {
+                "m": (
+                    "from dataclasses import dataclass\n"
+                    "@dataclass\n"
+                    "class Config:\n"
+                    "    size_bytes: int\n"
+                    "    wait_ms: float\n"
+                )
+            }
+        )
+        init = model.function_at("m.Config")
+        assert init is not None
+        assert init.is_method
+        assert init.positional == ["self", "size_bytes", "wait_ms"]
+        # Call-site mapping skips self: positional 0 is the first field.
+        assert init.param_for_positional(0) == "size_bytes"
+
+    def test_global_var_mutability_flags(self):
+        model, _ = _model(
+            {
+                "m": (
+                    "_REG = {}\n"
+                    "LIMIT = 3\n"
+                    "NAME = 'x'\n"
+                    "def bump():\n"
+                    "    global LIMIT\n"
+                    "    LIMIT = 4\n"
+                )
+            }
+        )
+        assert model.global_vars["m._REG"].mutable_value
+        assert model.global_vars["m.LIMIT"].rebound_in_functions
+        var = model.global_vars["m.NAME"]
+        assert not var.mutable_value and not var.rebound_in_functions
+
+
+class TestCallGraph:
+    def test_map_arguments_positional_and_keyword(self):
+        model, graph = _model(
+            {
+                "lib": "def g(x_ns, y_ms=0):\n    return x_ns\n",
+                "app": "from lib import g\ndef h():\n    g(1, y_ms=2)\n",
+            }
+        )
+        (site,) = graph.callees_of("app.h")
+        mapped = {param: arg.value for param, arg in site.map_arguments()}
+        assert mapped == {"x_ns": 1, "y_ms": 2}
+
+    def test_transitive_callees(self):
+        model, graph = _model(
+            {
+                "m": (
+                    "def a():\n    b()\n"
+                    "def b():\n    c()\n"
+                    "def c():\n    return 1\n"
+                    "def d():\n    return 2\n"
+                )
+            }
+        )
+        reach = graph.transitive_callees(["m.a"])
+        assert {"m.a", "m.b", "m.c"} <= reach
+        assert "m.d" not in reach
+
+    def test_method_call_through_self(self):
+        model, graph = _model(
+            {
+                "m": (
+                    "class C:\n"
+                    "    def top(self):\n"
+                    "        return self.leaf()\n"
+                    "    def leaf(self):\n"
+                    "        return 1\n"
+                )
+            }
+        )
+        assert "m.C.leaf" in graph.transitive_callees(["m.C.top"])
+
+
+class TestDispatchRoots:
+    def test_submit_map_and_initializer(self):
+        model, _ = _model(
+            {
+                "w": (
+                    "def work(n):\n    return n\n"
+                    "def warm():\n    pass\n"
+                ),
+                "d": (
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                    "from w import work, warm\n"
+                    "def main():\n"
+                    "    pool = ProcessPoolExecutor(initializer=warm)\n"
+                    "    pool.submit(work, 1)\n"
+                ),
+            }
+        )
+        dispatched, initializers = collect_dispatch_roots(model)
+        assert "w.work" in dispatched
+        assert "w.warm" in initializers
+        assert "w.warm" not in dispatched
+
+    def test_experiment_contract_run_is_a_root(self):
+        model, _ = _model(
+            {
+                "repro.experiments.fig9": "def run(preset=None):\n    return 1\n",
+                "repro.experiments.common": "def run(preset=None):\n    return 2\n",
+            }
+        )
+        dispatched, _ = collect_dispatch_roots(model)
+        assert "repro.experiments.fig9.run" in dispatched
+        # Non-contract stems are not dispatch roots.
+        assert "repro.experiments.common.run" not in dispatched
+
+
+class TestLeakyParams:
+    def test_backward_propagation_through_wrappers(self):
+        model, graph = _model(
+            {
+                "repro.cachesim.engine": "def simulate(rng, n):\n    return n\n",
+                "outer": (
+                    "from repro.cachesim.engine import simulate\n"
+                    "def wrap(gen, n):\n"
+                    "    return simulate(gen, n)\n"
+                    "def unrelated(x):\n"
+                    "    return x\n"
+                ),
+            }
+        )
+        leaky = leaky_params(model, graph)
+        # Sim-scope parameters are leaky by definition ...
+        assert set(leaky["repro.cachesim.engine.simulate"]) == {"rng", "n"}
+        # ... and bare-name forwarding propagates backward one level.
+        assert "gen" in leaky["outer.wrap"]
+        assert leaky.get("outer.unrelated") == set()

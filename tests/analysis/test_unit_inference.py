@@ -1,0 +1,144 @@
+"""Unit tests for the unit-inference algebra and return summaries."""
+
+import ast
+
+from repro.analysis.base import FileContext, ProjectContext
+from repro.analysis.checkers.cross_module_units import call_graph_summaries
+from repro.analysis.project import build_model
+from repro.analysis.project.units import (
+    UnitEnv,
+    UnitInferencer,
+    compatible,
+    describe,
+    infer_unit,
+    unit_of_name,
+)
+
+
+def _expr(source: str) -> ast.expr:
+    return ast.parse(source, mode="eval").body
+
+
+class TestNameSuffixes:
+    def test_time_and_size_suffixes(self):
+        assert unit_of_name("deadline_ms") == "ms"
+        assert unit_of_name("hit_ns") == "ns"
+        assert unit_of_name("shard_bytes") == "bytes"
+        assert unit_of_name("l3_size_mib") == "mib"
+        assert unit_of_name("capacity_lines") == "lines"
+        assert unit_of_name("penalty_cycles") == "cycles"
+
+    def test_rates_carry_no_unit(self):
+        assert unit_of_name("slope_per_ns") is None
+        assert unit_of_name("bytes_per_ms") is None
+
+    def test_plain_names_carry_no_unit(self):
+        assert unit_of_name("latency") is None
+        assert unit_of_name("count") is None
+
+
+class TestAnchorAlgebra:
+    def test_anchored_multiplication_yields_base_unit(self):
+        assert infer_unit(_expr("4 * KiB")) == "bytes"
+        assert infer_unit(_expr("40 * MiB")) == "bytes"
+        assert infer_unit(_expr("2 * MS")) == "ns"
+
+    def test_division_by_anchor_converts(self):
+        env = UnitEnv()
+        env.bind("span_ns", "ns")
+        assert infer_unit(_expr("span_ns / MS"), env=env) == "ms"
+        assert infer_unit(_expr("total_bytes / MiB")) == "mib"
+
+    def test_division_by_literal_is_conversion_shaped(self):
+        # span_ns / 1_000_000 is *probably* ms, but guessing would turn
+        # every manual conversion into a false positive: stay unknown.
+        assert infer_unit(_expr("span_ns / 1_000_000")) is None
+
+    def test_unit_preserving_calls(self):
+        assert infer_unit(_expr("max(a_ns, b_ns)")) == "ns"
+        assert infer_unit(_expr("sum(sizes_bytes)")) == "bytes"
+
+    def test_additive_mismatch_recorded(self):
+        inferencer = UnitInferencer()
+        unit = inferencer.infer(_expr("start_ns + queue_ms"))
+        assert unit is None
+        (mismatch,) = inferencer.mismatches
+        assert {mismatch.left_unit, mismatch.right_unit} == {"ns", "ms"}
+        assert not mismatch.anchor_only
+
+    def test_anchor_only_mismatch_is_marked(self):
+        # KiB + MS is RPR002's per-file territory; the project pass skips
+        # mismatches where both sides are bare repro._units anchors.
+        inferencer = UnitInferencer()
+        inferencer.infer(_expr("KiB + MS"))
+        (mismatch,) = inferencer.mismatches
+        assert mismatch.anchor_only
+
+    def test_same_unit_addition_keeps_unit(self):
+        inferencer = UnitInferencer()
+        assert inferencer.infer(_expr("hit_ns + miss_ns")) == "ns"
+        assert inferencer.mismatches == []
+
+    def test_compatible_and_describe(self):
+        assert compatible("ns", None) and compatible(None, "ms")
+        assert compatible("ns", "ns") and not compatible("ns", "ms")
+        assert describe("ns") == "nanoseconds"
+        assert describe("lines") == "a line count"
+
+
+class TestReturnSummaries:
+    def _summaries(self, modules: dict[str, str]):
+        files = [
+            FileContext(
+                path=name.replace(".", "/") + ".py",
+                module=name,
+                source=source,
+                tree=ast.parse(source),
+            )
+            for name, source in modules.items()
+        ]
+        return call_graph_summaries(build_model(ProjectContext(files=files)))
+
+    def test_declared_suffix_wins(self):
+        summaries = self._summaries(
+            {"m": "def span_ns():\n    return 5.0\n"}
+        )
+        assert summaries["m.span_ns"] == "ns"
+
+    def test_propagation_through_call_chain(self):
+        summaries = self._summaries(
+            {
+                "m": (
+                    "def base_ms():\n    return 2.0\n"
+                    "def alias():\n    return base_ms()\n"
+                    "def chained():\n    return alias()\n"
+                )
+            }
+        )
+        assert summaries["m.alias"] == "ms"
+        assert summaries["m.chained"] == "ms"
+
+    def test_cross_module_propagation(self):
+        summaries = self._summaries(
+            {
+                "lib": "def cost_bytes():\n    return 42\n",
+                "app": (
+                    "from lib import cost_bytes\n"
+                    "def budget():\n    return cost_bytes()\n"
+                ),
+            }
+        )
+        assert summaries["app.budget"] == "bytes"
+
+    def test_conflicting_returns_stay_unknown(self):
+        summaries = self._summaries(
+            {
+                "m": (
+                    "def pick(flag, a_ns, b_ms):\n"
+                    "    if flag:\n"
+                    "        return a_ns\n"
+                    "    return b_ms\n"
+                )
+            }
+        )
+        assert summaries["m.pick"] is None

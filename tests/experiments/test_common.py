@@ -2,12 +2,13 @@
 
 import pytest
 
+import dataclasses
+import pickle
+
 from repro.errors import ConfigurationError
 from repro.experiments.common import (
     ExperimentResult,
     RunPreset,
-    _COMPOSED_RUNS,
-    clear_run_cache,
     composed_run,
     discard_run,
     platform_hierarchy,
@@ -57,27 +58,43 @@ class TestPlatformHierarchy:
 
 class TestRunCache:
     def test_memoization(self):
-        clear_run_cache()
         preset = tiny_preset()
         a = composed_run("s1-leaf", preset)
         b = composed_run("s1-leaf", preset)
         assert a is b
 
-    def test_discard(self):
-        clear_run_cache()
+    def test_cache_is_per_preset_instance(self):
         preset = tiny_preset()
         composed_run("s1-leaf", preset)
-        assert len(_COMPOSED_RUNS) == 1
+        assert len(tiny_preset().run_cache) == 0
+
+    def test_replace_resets_cache(self):
+        preset = tiny_preset()
+        composed_run("s1-leaf", preset)
+        replaced = dataclasses.replace(preset, name="tiny2")
+        assert len(preset.run_cache) == 1
+        assert len(replaced.run_cache) == 0
+
+    def test_pickle_drops_cache_but_preserves_preset(self):
+        preset = tiny_preset()
+        composed_run("s1-leaf", preset)
+        clone = pickle.loads(pickle.dumps(preset))
+        assert clone == preset
+        assert len(preset.run_cache) == 1
+        assert len(clone.run_cache) == 0
+
+    def test_discard(self):
+        preset = tiny_preset()
+        composed_run("s1-leaf", preset)
+        assert len(preset.run_cache) == 1
         discard_run("s1-leaf", preset)
-        assert len(_COMPOSED_RUNS) == 0
+        assert len(preset.run_cache) == 0
 
     def test_different_threads_different_runs(self):
-        clear_run_cache()
         preset = tiny_preset()
         a = composed_run("s1-leaf", preset, threads=1)
         b = composed_run("s1-leaf", preset, threads=2)
         assert a is not b
-        clear_run_cache()
 
 
 class TestExperimentResultNotes:

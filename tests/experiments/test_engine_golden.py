@@ -13,19 +13,17 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments import runner
-from repro.experiments.common import RunPreset, clear_run_cache
+from repro.experiments.common import RunPreset
 from repro.experiments.parallel import run_report
 
 _ENGINE_IDS = ["fig6", "fig7"]
 
 
 def _report(engine):
-    clear_run_cache()
+    # A fresh preset instance carries a fresh composed-run cache, so the
+    # two engines cannot serve each other memoized runs.
     preset = dataclasses.replace(RunPreset.quick(), engine=engine)
-    try:
-        return run_report(preset, only=_ENGINE_IDS, jobs=1)
-    finally:
-        clear_run_cache()
+    return run_report(preset, only=_ENGINE_IDS, jobs=1)
 
 
 @pytest.fixture(scope="module")

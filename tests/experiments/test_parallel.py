@@ -79,12 +79,10 @@ class TestRunReport:
 
 class TestCachedRun:
     def test_warm_run_hits_and_matches_cold(self, tmp_path):
-        from repro.experiments.common import clear_run_cache
-
         cache_dir = tmp_path / "artifacts"
-        clear_run_cache()  # in-process memoization would mask the disk cache
+        # Each run gets its own preset instance, hence its own composed-run
+        # memo — in-process memoization cannot mask the disk cache.
         cold = run_report(RunPreset.quick(), only=["fig2"], jobs=1, cache_dir=cache_dir)
-        clear_run_cache()
         warm = run_report(RunPreset.quick(), only=["fig2"], jobs=1, cache_dir=cache_dir)
         assert cold.cache_stats()["misses"] > 0
         assert cold.cache_stats()["hits"] == 0

@@ -1,22 +1,27 @@
 #!/usr/bin/env python3
-"""Coverage ratchet for the cache-simulation package.
+"""Coverage ratchet for the gated packages (cachesim, analysis).
 
-Two modes:
+``tools/coverage_ratchet.json`` maps package prefixes to per-file and
+aggregate line-coverage floors.  Two modes:
 
 ``check`` (default)
-    Read a ``coverage.json`` report produced by pytest-cov
-    (``pytest tests/cachesim --cov=repro.cachesim --cov-report=json``)
-    and fail if any file in ``tools/coverage_ratchet.json`` — or the
-    package aggregate — has dropped below its recorded floor.  CI runs
-    this; the ratchet only moves up.
+    Read a ``coverage.json`` report produced by pytest-cov, e.g.::
+
+        pytest tests/cachesim tests/analysis \
+            --cov=repro.cachesim --cov=repro.analysis --cov-report=json
+
+    and fail if any ratcheted file — or a package aggregate — has
+    dropped below its recorded floor.  CI runs this; the ratchet only
+    moves up.
 
 ``measure``
     Re-measure line coverage locally with a stdlib ``sys.settrace``
-    tracer (no pytest-cov needed): runs ``tests/cachesim`` and prints
-    per-file percentages.  Use it to pick new floors after adding
-    tests.  The stdlib tracer counts a few lines (docstrings, guarded
-    imports) differently from coverage.py, so floors in the ratchet
-    carry a few points of margin below measured values.
+    tracer (no pytest-cov needed): runs every ratcheted package's test
+    directory and prints per-file percentages.  Use it to pick new
+    floors after adding tests.  The stdlib tracer counts a few lines
+    (docstrings, guarded imports) differently from coverage.py, so
+    floors in the ratchet carry a few points of margin below measured
+    values.
 
 Usage::
 
@@ -33,47 +38,57 @@ import types
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 RATCHET = REPO / "tools" / "coverage_ratchet.json"
-PACKAGE = "repro/cachesim/"
 
 
-def _relative_name(path: str) -> str | None:
-    """Map a coverage.json file key to a name relative to the package."""
+def _load_ratchet() -> dict[str, dict]:
+    return json.loads(RATCHET.read_text())["packages"]
+
+
+def _relative_name(path: str, package: str) -> str | None:
+    """Map a coverage.json file key to a name relative to ``package``."""
     normalized = path.replace("\\", "/")
-    if PACKAGE not in normalized:
+    if package not in normalized:
         return None
-    return normalized.rsplit(PACKAGE, 1)[1]
+    return normalized.rsplit(package, 1)[1]
 
 
 def check(report_path: str) -> int:
-    ratchet = json.loads(RATCHET.read_text())
+    packages = _load_ratchet()
     report = json.loads(pathlib.Path(report_path).read_text())
 
-    summaries: dict[str, dict] = {}
-    for path, data in report.get("files", {}).items():
-        name = _relative_name(path)
-        if name is not None:
-            summaries[name] = data["summary"]
+    failures: list[str] = []
+    held = 0
+    for package, ratchet in sorted(packages.items()):
+        summaries: dict[str, dict] = {}
+        for path, data in report.get("files", {}).items():
+            name = _relative_name(path, package)
+            if name is not None:
+                summaries[name] = data["summary"]
 
-    failures = []
-    covered = sum(s["covered_lines"] for s in summaries.values())
-    statements = sum(s["num_statements"] for s in summaries.values())
-    total = 100.0 * covered / statements if statements else 0.0
-    floor = ratchet["total"]
-    if total < floor:
-        failures.append(
-            f"package total {total:.1f}% < ratchet floor {floor:.1f}%"
-        )
-
-    for name, file_floor in sorted(ratchet["files"].items()):
-        summary = summaries.get(name)
-        if summary is None:
-            failures.append(f"{name}: missing from the coverage report")
-            continue
-        percent = summary["percent_covered"]
-        if percent < file_floor:
+        covered = sum(s["covered_lines"] for s in summaries.values())
+        statements = sum(s["num_statements"] for s in summaries.values())
+        total = 100.0 * covered / statements if statements else 0.0
+        floor = ratchet["total"]
+        if total < floor:
             failures.append(
-                f"{name}: {percent:.1f}% < ratchet floor {file_floor:.1f}%"
+                f"{package} total {total:.1f}% < ratchet floor {floor:.1f}%"
             )
+
+        for name, file_floor in sorted(ratchet["files"].items()):
+            summary = summaries.get(name)
+            if summary is None:
+                failures.append(
+                    f"{package}{name}: missing from the coverage report"
+                )
+                continue
+            percent = summary["percent_covered"]
+            if percent < file_floor:
+                failures.append(
+                    f"{package}{name}: {percent:.1f}% < ratchet floor "
+                    f"{file_floor:.1f}%"
+                )
+        held += len(ratchet["files"])
+        print(f"coverage: {package} total {total:.1f}% (floor {floor:.1f}%)")
 
     if failures:
         print("coverage ratchet FAILED:")
@@ -86,10 +101,7 @@ def check(report_path: str) -> int:
         )
         return 1
 
-    print(
-        f"coverage ratchet OK: {PACKAGE} total {total:.1f}%"
-        f" (floor {floor:.1f}%), {len(ratchet['files'])} file floors held"
-    )
+    print(f"coverage ratchet OK: {held} file floors held")
     return 0
 
 
@@ -114,8 +126,12 @@ def measure() -> int:
 
     import pytest
 
-    target = REPO / "src" / "repro" / "cachesim"
-    prefix = str(target) + "/"
+    packages = _load_ratchet()
+    targets = {
+        package: REPO / "src" / package.rstrip("/")
+        for package in packages
+    }
+    prefixes = {package: str(target) + "/" for package, target in targets.items()}
     executed: dict[str, set[int]] = {}
 
     def local_tracer(frame, event, arg):
@@ -124,15 +140,19 @@ def measure() -> int:
         return local_tracer
 
     def global_tracer(frame, event, arg):
-        if event == "call" and frame.f_code.co_filename.startswith(prefix):
+        if event == "call" and any(
+            frame.f_code.co_filename.startswith(prefix)
+            for prefix in prefixes.values()
+        ):
             executed.setdefault(frame.f_code.co_filename, set())
             return local_tracer
         return None
 
+    test_dirs = sorted({ratchet["tests"] for ratchet in packages.values()})
     threading.settrace(global_tracer)
     sys.settrace(global_tracer)
     try:
-        exit_code = pytest.main(["tests/cachesim", "-q", "-p", "no:cacheprovider"])
+        exit_code = pytest.main([*test_dirs, "-q", "-p", "no:cacheprovider"])
     finally:
         sys.settrace(None)
         threading.settrace(None)
@@ -140,20 +160,19 @@ def measure() -> int:
         print(f"pytest failed with exit code {exit_code}; not measuring")
         return int(exit_code)
 
-    print(f"\nstdlib-tracer line coverage for {PACKAGE} (approximate):")
-    rows = []
-    total_hit = total_lines = 0
-    for path in sorted(target.glob("*.py")):
-        lines = _executable_lines(path)
-        hit = executed.get(str(path), set()) & lines
-        total_hit += len(hit)
-        total_lines += len(lines)
-        percent = 100.0 * len(hit) / len(lines) if lines else 100.0
-        rows.append((path.name, percent, len(hit), len(lines)))
-    for name, percent, hit, count in rows:
-        print(f"  {name:<18} {percent:6.1f}%  ({hit}/{count})")
-    total = 100.0 * total_hit / total_lines if total_lines else 0.0
-    print(f"  {'TOTAL':<18} {total:6.1f}%  ({total_hit}/{total_lines})")
+    for package, target in sorted(targets.items()):
+        print(f"\nstdlib-tracer line coverage for {package} (approximate):")
+        total_hit = total_lines = 0
+        for path in sorted(target.rglob("*.py")):
+            lines = _executable_lines(path)
+            hit = executed.get(str(path), set()) & lines
+            total_hit += len(hit)
+            total_lines += len(lines)
+            percent = 100.0 * len(hit) / len(lines) if lines else 100.0
+            name = str(path.relative_to(target))
+            print(f"  {name:<32} {percent:6.1f}%  ({len(hit)}/{len(lines)})")
+        total = 100.0 * total_hit / total_lines if total_lines else 0.0
+        print(f"  {'TOTAL':<32} {total:6.1f}%  ({total_hit}/{total_lines})")
     return 0
 
 
