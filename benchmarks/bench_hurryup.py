@@ -1,0 +1,34 @@
+"""Regenerate the event-driven serving (hurry-up) experiment."""
+
+from repro.experiments import hurryup
+
+
+def test_hurryup_regeneration(run_once, preset, benchmark):
+    result = run_once(hurryup.run, preset)
+    rows = result.rows
+
+    # The engine's measured open-loop quantiles match the closed-form
+    # M/M/1 model — the acceptance criterion of the event-driven core.
+    (engine_row,) = [
+        r
+        for r in rows
+        if r["series"] == "queueing-model-check"
+        and r["source"] == "event-driven engine"
+    ]
+    assert engine_row["p50_err_pct"] < 5.0
+    assert engine_row["p99_err_pct"] < 5.0
+
+    # Saturation is representable: the rho = 1.3 run completed degraded
+    # with served throughput pinned at capacity.
+    saturation = {r["x"]: r for r in rows if r["series"] == "saturation"}
+    assert saturation[1.3]["served_rate"] < 0.9
+    assert saturation[1.3]["served_qps"] <= 125.0 * 1.05
+
+    # Hurry-up migration pays off against FIFO where slack exists.
+    pool = {
+        (r["x"], r["policy"]): r for r in rows if r["series"] == "big-little"
+    }
+    assert pool[(300.0, "hurryup")]["miss_rate"] < pool[(300.0, "fifo")]["miss_rate"]
+
+    benchmark.extra_info["p99_err_pct"] = engine_row["p99_err_pct"]
+    benchmark.extra_info["served_rate_at_1_3"] = saturation[1.3]["served_rate"]

@@ -48,6 +48,26 @@ class LeafUnavailableError(ServingError):
         self.after_ms = after_ms
 
 
+class SaturatedQueueError(ServingError):
+    """A queueing computation was asked about a saturated queue (ρ >= 1).
+
+    Closed-form M/M/1 quantiles diverge at utilization 1: a saturated
+    queue has no stationary distribution, so there is no finite tail to
+    report.  The error carries the utilization so callers can branch on
+    *how* saturated the design is instead of pattern-matching a message;
+    the event-driven engine (:mod:`repro.search.engine`) represents the
+    same regime behaviourally — growing queues and shed load — rather
+    than raising.
+    """
+
+    def __init__(self, utilization: float) -> None:
+        super().__init__(
+            f"queue is saturated: utilization {utilization:g} >= 1 has no "
+            "stationary distribution (closed-form quantiles diverge)"
+        )
+        self.utilization = utilization
+
+
 class DeadlineExceededError(ServingError):
     """A query's deadline expired before every leaf answered."""
 

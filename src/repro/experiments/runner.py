@@ -29,6 +29,7 @@ from repro.experiments import (
     fig12,
     fig13,
     fig14,
+    hurryup,
     power,
     slo,
     table1,
@@ -56,6 +57,7 @@ ALL_MODULES = (
     fig14,
     power,
     slo,
+    hurryup,
     discussion,
     ablations,
 )
@@ -166,6 +168,14 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment ids to run (default: all), e.g. fig6 table1",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="run only this experiment id (repeatable; equivalent to "
+        "listing ids positionally)",
+    )
+    parser.add_argument(
         "--standard",
         action="store_true",
         help="use the standard (slow, higher-fidelity) preset",
@@ -225,11 +235,12 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.experiments.parallel import run_report
 
+    selected = list(args.ids) + list(args.only)
     start = time.time()
     try:
         report = run_report(
             preset,
-            only=args.ids or None,
+            only=selected or None,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
         )

@@ -32,6 +32,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     MetricsSnapshot,
+    histogram_quantile,
     log_spaced_bounds,
 )
 from repro.obs.report import render_snapshot
@@ -49,6 +50,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "histogram_quantile",
     "log_spaced_bounds",
     "NULL_REGISTRY",
     "Tracer",

@@ -248,6 +248,10 @@ class Histogram(Metric):
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        #: Exact maximum of the samples that landed above the last bound.
+        #: Kept separately from ``max`` so merge/serialization round-trips
+        #: preserve the overflow bound even when payloads are combined.
+        self.overflow_max = -math.inf
 
     def labels(self, **labels: str) -> "Histogram":
         """Child histogram (same bounds) for one label set."""
@@ -277,14 +281,24 @@ class Histogram(Metric):
             self.min = value
         if value > self.max:
             self.max = value
+        if index == len(self.bounds) and value > self.overflow_max:
+            self.overflow_max = value
+
+    @property
+    def overflow_count(self) -> int:
+        """Samples recorded above the last bucket bound (not clamped)."""
+        return self.bucket_counts[-1]
 
     def quantile(self, p: float) -> float:
         """Upper bound on the p-quantile of everything observed.
 
         Returns the upper edge of the bucket holding the ``ceil(p*count)``-th
         smallest observation; for the overflow bucket (values above the
-        last bound) the observed maximum is returned, which is still an
-        upper bound.  Raises when nothing has been observed.
+        last bound) the *exact* overflow maximum is returned instead of
+        the top bucket edge, so tails measured under overload (where p999
+        routinely lands above the last bound) report the true overflow
+        bound rather than a silently clamped edge.  Raises when nothing
+        has been observed.
         """
         if not 0 < p < 1:
             raise ConfigurationError(f"p must be in (0, 1), got {p}")
@@ -299,7 +313,7 @@ class Histogram(Metric):
             if seen >= target:
                 if index < len(self.bounds):
                     return self.bounds[index]
-                return self.max
+                return self.overflow_max
         return self.max  # unreachable; counts always sum to self.count
 
     @property
@@ -332,10 +346,17 @@ class Histogram(Metric):
         merged.sum = self.sum + other.sum
         merged.min = min(self.min, other.min)
         merged.max = max(self.max, other.max)
+        merged.overflow_max = max(self.overflow_max, other.overflow_max)
         return merged
 
     def snapshot_payload(self) -> dict:
-        """JSON-ready state: bounds, bucket counts, count/sum/min/max."""
+        """JSON-ready state: bounds, bucket counts, count/sum/min/max.
+
+        Overflow is first-class: ``overflow_count`` is the number of
+        samples above the last bound and ``overflow_max`` (present when
+        any overflowed) their exact maximum — what
+        :func:`histogram_quantile` reports for tails landing there.
+        """
         payload = {
             "type": self.kind,
             "unit": self.unit,
@@ -343,11 +364,43 @@ class Histogram(Metric):
             "sum": self.sum,
             "bounds": list(self.bounds),
             "bucket_counts": list(self.bucket_counts),
+            "overflow_count": self.overflow_count,
         }
         if self.count:
             payload["min"] = self.min
             payload["max"] = self.max
+        if self.overflow_count:
+            payload["overflow_max"] = self.overflow_max
         return payload
+
+
+def histogram_quantile(payload: Mapping, p: float) -> float:
+    """Upper bound on the p-quantile recovered from a histogram payload.
+
+    The snapshot-side counterpart of :meth:`Histogram.quantile` — the
+    report renderer, the load harness, and anything else consuming
+    serialized snapshots share this one implementation.  For quantiles
+    landing in the overflow bucket it returns ``overflow_max`` (the exact
+    maximum of the overflowed samples, falling back to ``max`` for
+    payloads written before overflow tracking) instead of clamping to
+    the top bucket edge.  Raises on an empty histogram payload.
+    """
+    if not 0 < p < 1:
+        raise ConfigurationError(f"p must be in (0, 1), got {p}")
+    count = payload.get("count", 0)
+    if not count:
+        raise ConfigurationError("histogram payload has no observations")
+    bounds = payload["bounds"]
+    overflow_bound = payload.get("overflow_max", payload.get("max", 0.0))
+    target = math.ceil(p * count)
+    seen = 0
+    for index, bucket in enumerate(payload["bucket_counts"]):
+        seen += bucket
+        if seen >= target:
+            if index < len(bounds):
+                return float(bounds[index])
+            return float(overflow_bound)
+    return float(payload.get("max", overflow_bound))
 
 
 class _NullCounter(Counter):
@@ -602,6 +655,10 @@ class MetricsSnapshot:
                         payload["bucket_counts"], before["bucket_counts"]
                     )
                 ]
+                if "overflow_count" in payload:
+                    merged["overflow_count"] = payload[
+                        "overflow_count"
+                    ] - before.get("overflow_count", 0)
                 out[name] = merged
             else:  # gauges: current value is the statement
                 out[name] = payload
@@ -662,6 +719,16 @@ class MetricsSnapshot:
                         mine["bucket_counts"], payload["bucket_counts"]
                     )
                 ]
+                merged["overflow_count"] = mine.get(
+                    "overflow_count", 0
+                ) + payload.get("overflow_count", 0)
+                overflow_maxes = [
+                    side["overflow_max"]
+                    for side in (mine, payload)
+                    if "overflow_max" in side
+                ]
+                if overflow_maxes:
+                    merged["overflow_max"] = max(overflow_maxes)
                 if mine.get("count") and payload.get("count"):
                     merged["min"] = min(mine["min"], payload["min"])
                     merged["max"] = max(mine["max"], payload["max"])

@@ -19,7 +19,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs.metrics import MetricsSnapshot
+from repro.obs.metrics import MetricsSnapshot, histogram_quantile
 
 #: Quantiles rendered for histogram rows.
 _QUANTILES = (0.5, 0.9, 0.99)
@@ -82,23 +82,15 @@ def _snapshot_rows(snapshot: MetricsSnapshot, prefix: str) -> list[dict]:
 
 
 def _histogram_quantiles(payload: dict) -> str:
-    """Conservative quantile upper bounds recovered from bucket counts."""
-    bounds = payload["bounds"]
-    buckets = payload["bucket_counts"]
-    count = payload["count"]
+    """Conservative quantile upper bounds recovered from bucket counts.
+
+    Delegates to :func:`repro.obs.metrics.histogram_quantile`, which
+    reports the exact overflow maximum (not the top bucket edge) for
+    tails landing above the last bound.
+    """
     parts = []
     for p in _QUANTILES:
-        target = -(-int(p * count * 1_000_000) // 1_000_000)  # ceil, int math
-        target = max(1, target)
-        seen = 0
-        estimate = payload.get("max", 0.0)
-        for index, bucket in enumerate(buckets):
-            seen += bucket
-            if seen >= target:
-                estimate = (
-                    bounds[index] if index < len(bounds) else payload["max"]
-                )
-                break
+        estimate = histogram_quantile(payload, p)
         parts.append(f"p{int(p * 100)}<={_format_number(estimate)}")
     return " ".join(parts)
 

@@ -26,6 +26,20 @@ from repro.search.querygen import QueryGenerator, QueryGeneratorConfig
 from repro.search.leaf import LeafServer, SearchHit
 from repro.search.root import RootServer, SearchResultPage
 from repro.search.frontend import FrontendServer, ResultCache
+from repro.search.engine import (
+    CoreSpec,
+    EventLoop,
+    HeterogeneousPool,
+    PoolStats,
+    QueueConfig,
+    ServingEngine,
+)
+from repro.search.loadgen import (
+    LoadReport,
+    poisson_arrival_times_ms,
+    run_open_loop,
+    trace_arrival_times_ms,
+)
 from repro.search.cluster import ClusterStats, SearchCluster
 
 __all__ = [
@@ -61,6 +75,16 @@ __all__ = [
     "SearchResultPage",
     "FrontendServer",
     "ResultCache",
+    "EventLoop",
+    "QueueConfig",
+    "ServingEngine",
+    "CoreSpec",
+    "HeterogeneousPool",
+    "PoolStats",
+    "LoadReport",
+    "poisson_arrival_times_ms",
+    "trace_arrival_times_ms",
+    "run_open_loop",
     "ClusterStats",
     "SearchCluster",
 ]

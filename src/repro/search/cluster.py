@@ -17,8 +17,14 @@ from repro.memtrace.trace import Trace
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.tracing import Tracer
 from repro.search.documents import Corpus, CorpusConfig
+from repro.search.engine import QueueConfig, ServingEngine
 from repro.search.faults import FaultInjector, FaultSpec
 from repro.search.frontend import FrontendServer, ResultCache
+from repro.search.loadgen import (
+    LoadReport,
+    poisson_arrival_times_ms,
+    run_open_loop,
+)
 from repro.search.indexer import InvertedIndexBuilder
 from repro.search.latency import LatencyAccumulator, QueryLatencyModel
 from repro.search.leaf import LeafServer
@@ -219,6 +225,93 @@ class SearchCluster:
             memory=self.memory,
             metrics=self.metrics,
         )
+
+    def _aggregation_levels(self) -> int:
+        """Depth of the aggregation tree above the leaves."""
+
+        def depth(node: RootServer) -> int:
+            deepest = 0
+            for child in node.children:
+                if isinstance(child, RootServer):
+                    deepest = max(deepest, depth(child))
+            return 1 + deepest
+
+        return depth(self.frontend.root)
+
+    def with_engine(
+        self,
+        spec: FaultSpec | None = None,
+        policy: ServingPolicy | None = None,
+        latency_model: QueryLatencyModel | None = None,
+        queue: QueueConfig | None = None,
+        seed: int = 0,
+    ) -> ServingEngine:
+        """An event-driven serving engine over this cluster's leaves.
+
+        The engine reuses the (expensive) shards and leaf servers but
+        owns a fresh injector and event loop, so open-loop campaigns
+        can be swept without rebuilding the index.  Its queue metrics
+        (``repro.search.queue.*``) and reused fan-out counters publish
+        into the cluster's shared registry.  Aggregation depth matches
+        the synchronous tree's, so overhead accounting agrees.
+        """
+        injector = FaultInjector(
+            spec if spec is not None else FaultSpec(utilization=0.0),
+            model=latency_model,
+            seed=seed,
+            metrics=self.metrics,
+        )
+        return ServingEngine(
+            leaves=self.leaves,
+            injector=injector,
+            policy=policy,
+            queue=queue,
+            metrics=self.metrics,
+            aggregation_levels=self._aggregation_levels(),
+        )
+
+    def serve_open_loop(
+        self,
+        queries: list[list[int]],
+        qps: float,
+        top_k: int = 10,
+        deadline_ms: float | None = None,
+        spec: FaultSpec | None = None,
+        policy: ServingPolicy | None = None,
+        latency_model: QueryLatencyModel | None = None,
+        queue: QueueConfig | None = None,
+        seed: int = 0,
+    ) -> tuple[list[SearchResultPage], LoadReport]:
+        """Serve a query stream under open-loop Poisson arrivals.
+
+        Unlike :meth:`serve_terms` (closed loop — the client waits for
+        each page), arrivals here follow a fixed Poisson schedule at
+        ``qps``, so the measured latencies in the returned
+        :class:`~repro.search.loadgen.LoadReport` include queueing
+        delay, and offered load beyond capacity shows up as degraded
+        pages instead of being structurally impossible.
+
+        Units: ``deadline_ms`` is each query's relative budget in
+        simulated milliseconds.
+        """
+        engine = self.with_engine(
+            spec=spec,
+            policy=policy,
+            latency_model=latency_model,
+            queue=queue,
+            seed=seed,
+        )
+        arrival_times_ms = poisson_arrival_times_ms(
+            qps, len(queries), seed=seed
+        )
+        report = run_open_loop(
+            engine,
+            arrival_times_ms,
+            queries=queries,
+            top_k=top_k,
+            deadline_ms=deadline_ms,
+        )
+        return engine.run(), report
 
     def serve_with_outcomes(
         self,

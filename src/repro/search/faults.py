@@ -24,6 +24,16 @@ configured rates, so runs at different fault rates are *coupled*: the
 underlying latency stream is identical and only the fault classification
 changes.  That is what makes the SLO experiment's sweeps smooth at modest
 query counts.
+
+Draws come in two flavours.  The legacy *shared-stream* draws consume
+variates in call order from one generator — fine for a single
+synchronous call tree, but any reordering (an event loop interleaving
+leaf RPCs of overlapping queries) silently re-deals every fault.  The
+*keyed* draws instead derive an independent generator per
+``(leaf, query, attempt)`` from a stable
+:class:`numpy.random.SeedSequence` spawn key, so the event-driven engine
+and the synchronous tree executing the same scenario see byte-identical
+fault and latency sequences regardless of execution order.
 """
 
 from __future__ import annotations
@@ -35,6 +45,14 @@ import numpy as np
 from repro.errors import ConfigurationError, LeafUnavailableError
 from repro.obs.metrics import Counter, MetricsRegistry
 from repro.search.latency import QueryLatencyModel
+
+
+#: Attempt-number namespace for hedged (backup) RPCs: hedge N of a leaf
+#: call draws from attempt ``HEDGE_ATTEMPT_OFFSET + N``, so primaries and
+#: hedges never share a keyed stream.  Shared by the synchronous tree and
+#: the event-driven engine — part of what keeps their draw sequences
+#: byte-identical.
+HEDGE_ATTEMPT_OFFSET = 1_000
 
 
 class SimulatedClock:
@@ -95,6 +113,27 @@ class FaultSpec:
             )
 
 
+@dataclass(frozen=True)
+class RpcDraw:
+    """Classification and latency of one attempted leaf RPC.
+
+    ``kind`` is one of ``"ok"``, ``"transient"``, ``"hard"`` (this draw
+    fail-stopped the leaf), or ``"dead"`` (the leaf was already dead).
+    ``latency_ms`` is the simulated time the caller loses before the
+    outcome surfaces: the (possibly spiked) sojourn draw for ok and
+    transient outcomes, the failure-detection time for dead leaves.
+    """
+
+    kind: str
+    latency_ms: float
+    spiked: bool = False
+
+    @property
+    def failed(self) -> bool:
+        """True when the RPC produced no answer (any non-ok outcome)."""
+        return self.kind != "ok"
+
+
 class FaultInjector:
     """Samples per-RPC leaf behaviour from a :class:`FaultSpec`.
 
@@ -102,6 +141,12 @@ class FaultInjector:
     :meth:`leaf_latency_ms` once per attempted leaf RPC.  The injector
     owns the run's :class:`SimulatedClock` (advanced by the front end as
     queries complete) and records when each fail-stop death happened.
+
+    Passing a ``query_key`` (any stable non-negative int — the query's
+    arrival sequence number by convention) switches a draw from the
+    shared call-order stream to an independent keyed stream, making the
+    draw independent of every other RPC's ordering.  The event-driven
+    engine consumes the same keyed draws through :meth:`plan_rpc`.
     """
 
     def __init__(
@@ -114,6 +159,7 @@ class FaultInjector:
         self.spec = spec or FaultSpec()
         self.model = model or QueryLatencyModel()
         self.clock = SimulatedClock()
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         #: leaf_id -> simulated time of death, in arrival order.
         self.died_at_ms: dict[int, float] = {}
@@ -179,33 +225,88 @@ class FaultInjector:
         """Bring a fail-stopped leaf back (a repair/replacement event)."""
         self.died_at_ms.pop(leaf_id, None)
 
-    def leaf_latency_ms(self, leaf_id: int) -> float:
+    def rng_for(self, leaf_id: int, query_key: int, attempt: int = 1) -> np.random.Generator:
+        """The independent generator for one ``(leaf, query, attempt)``.
+
+        Derived from a :class:`numpy.random.SeedSequence` spawn key, so
+        the stream depends only on the injector's seed and the stable
+        identifiers — never on how many other draws happened first.
+        """
+        if query_key < 0 or attempt < 1:
+            raise ConfigurationError(
+                f"need query_key >= 0 and attempt >= 1, got "
+                f"({query_key}, {attempt})"
+            )
+        sequence = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(int(leaf_id), int(query_key), int(attempt))
+        )
+        return np.random.default_rng(sequence)
+
+    def plan_rpc(
+        self,
+        leaf_id: int,
+        query_key: int | None = None,
+        attempt: int = 1,
+        utilization: float | None = None,
+    ) -> RpcDraw:
+        """Draw one leaf RPC's outcome without raising.
+
+        With a ``query_key`` the draw comes from the keyed per-
+        ``(leaf, query, attempt)`` stream; without one it consumes the
+        legacy shared stream in call order.  ``utilization`` overrides
+        the spec's queueing utilization for the sojourn draw — the
+        event-driven engine passes 0.0 because *it* supplies the waiting
+        via real queues, while the synchronous tree keeps the spec's ρ
+        baked into each draw.  Every call consumes exactly four variates
+        of its stream, so fault rates stay coupled.
+
+        Side effects (counters, fail-stop deaths) happen here, once per
+        attempted RPC.
+        """
+        self._calls.inc()
+        rng = (
+            self._rng
+            if query_key is None
+            else self.rng_for(leaf_id, query_key, attempt)
+        )
+        rho = self.spec.utilization if utilization is None else utilization
+        u_hard, u_transient, u_spike = rng.uniform(size=3)
+        latency = self.model.sample_leaf_ms(rng, rho)
+
+        if self.is_dead(leaf_id):
+            return RpcDraw(kind="dead", latency_ms=self.spec.hard_fail_detect_ms)
+        if u_hard < self.spec.hard_failure_rate:
+            self._hard_failures.inc()
+            self.died_at_ms[leaf_id] = self.clock.now_ms
+            return RpcDraw(kind="hard", latency_ms=self.spec.hard_fail_detect_ms)
+        if u_transient < self.spec.transient_error_rate:
+            self._transient_errors.inc()
+            # The error surfaces when the reply would have: full latency.
+            return RpcDraw(kind="transient", latency_ms=latency)
+        spiked = u_spike < self.spec.latency_spike_rate
+        if spiked:
+            self._spikes.inc()
+            latency *= self.spec.spike_multiplier
+        return RpcDraw(kind="ok", latency_ms=latency, spiked=spiked)
+
+    def leaf_latency_ms(
+        self, leaf_id: int, query_key: int | None = None, attempt: int = 1
+    ) -> float:
         """The simulated latency of one leaf RPC.
 
         Raises :class:`LeafUnavailableError` for transient errors and for
         calls to dead (or newly dying) leaves.  Always consumes exactly
         four random variates so different fault rates share one latency
-        stream.
+        stream; with a ``query_key`` the variates come from the stable
+        keyed stream instead of shared call order.
         """
-        self._calls.inc()
-        u_hard, u_transient, u_spike = self._rng.uniform(size=3)
-        latency = self.model.sample_leaf_ms(self._rng, self.spec.utilization)
-
-        if self.is_dead(leaf_id):
+        draw = self.plan_rpc(leaf_id, query_key=query_key, attempt=attempt)
+        if draw.kind in ("dead", "hard"):
             raise LeafUnavailableError(
-                leaf_id, transient=False, after_ms=self.spec.hard_fail_detect_ms
+                leaf_id, transient=False, after_ms=draw.latency_ms
             )
-        if u_hard < self.spec.hard_failure_rate:
-            self._hard_failures.inc()
-            self.died_at_ms[leaf_id] = self.clock.now_ms
+        if draw.kind == "transient":
             raise LeafUnavailableError(
-                leaf_id, transient=False, after_ms=self.spec.hard_fail_detect_ms
+                leaf_id, transient=True, after_ms=draw.latency_ms
             )
-        if u_transient < self.spec.transient_error_rate:
-            self._transient_errors.inc()
-            # The error surfaces when the reply would have: full latency.
-            raise LeafUnavailableError(leaf_id, transient=True, after_ms=latency)
-        if u_spike < self.spec.latency_spike_rate:
-            self._spikes.inc()
-            latency *= self.spec.spike_multiplier
-        return latency
+        return draw.latency_ms

@@ -197,6 +197,9 @@ class FrontendServer:
         pages are cached.
         """
         self._queries.inc()
+        # Arrival sequence number: the stable key for the injector's
+        # per-(leaf, query, attempt) RNG streams.
+        query_key = self.queries_received - 1
         tracer = self.tracer
         span = None
         if tracer.enabled:
@@ -228,6 +231,7 @@ class FrontendServer:
             on_incomplete=on_incomplete,
             tracer=tracer,
             parent_span=span.context if span is not None else None,
+            query_key=query_key,
         )
         if page.complete:
             self.cache.put(key, page)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SaturatedQueueError
 from repro.obs.metrics import (
     Counter,
     Histogram,
@@ -30,6 +30,46 @@ from repro.obs.metrics import (
 
 #: Outcome-latency buckets: 0.1 ms .. 100 s of simulated time.
 _OUTCOME_BOUNDS = log_spaced_bounds(lo=0.1, hi=100_000.0, per_decade=4)
+
+
+class Utilization(float):
+    """A utilization ρ that knows whether the offered load saturated it.
+
+    Behaves as a plain float (clamped to [0, 1]) everywhere a ρ is
+    expected, while carrying the overload diagnosis: ``saturated`` is
+    True when the raw offered-to-capacity ratio reached 1, and
+    ``offered`` preserves that unclamped ratio (1.3 means 30% more load
+    than the design can drain).  :meth:`QueryLatencyModel.
+    utilization_for_load` returns these instead of raising, so callers
+    can *represent* overload — the closed-form quantile helpers are the
+    ones that must refuse it (:class:`~repro.errors.SaturatedQueueError`).
+    """
+
+    saturated: bool
+    offered: float
+
+    def __new__(cls, offered: float) -> "Utilization":
+        value = super().__new__(cls, min(float(offered), 1.0))
+        value.saturated = offered >= 1.0
+        value.offered = float(offered)
+        return value
+
+
+def _check_utilization(utilization: float) -> None:
+    """Reject ρ outside [0, 1) for the closed-form helpers.
+
+    Negative utilization is a configuration mistake; ρ >= 1 is the
+    *saturated regime* and raises the dedicated
+    :class:`~repro.errors.SaturatedQueueError` (carrying ρ) so callers
+    can distinguish "no stationary tail exists" from "bad argument".
+    """
+    if utilization < 0:
+        raise ConfigurationError(
+            f"utilization must be >= 0, got {utilization}"
+        )
+    if utilization >= 1:
+        offered = getattr(utilization, "offered", utilization)
+        raise SaturatedQueueError(float(offered))
 
 
 @dataclass(frozen=True)
@@ -64,13 +104,14 @@ class QueryLatencyModel:
     def leaf_quantile_ms(
         self, p: float, utilization: float, relative_throughput: float = 1.0
     ) -> float:
-        """The p-quantile of one leaf's sojourn time at a utilization."""
+        """The p-quantile of one leaf's sojourn time at a utilization.
+
+        Raises :class:`~repro.errors.SaturatedQueueError` (carrying ρ)
+        at ρ >= 1 — a saturated queue has no stationary quantiles.
+        """
         if not 0 < p < 1:
             raise ConfigurationError(f"p must be in (0, 1), got {p}")
-        if not 0 <= utilization < 1:
-            raise ConfigurationError(
-                f"utilization must be in [0, 1), got {utilization}"
-            )
+        _check_utilization(utilization)
         service = self.service_ms(relative_throughput)
         return -math.log(1.0 - p) * service / (1.0 - utilization)
 
@@ -94,23 +135,24 @@ class QueryLatencyModel:
         This is the stochastic counterpart of :meth:`leaf_quantile_ms` —
         the fault-injection substrate uses it so simulated per-query
         latencies and the analytic tail formulas describe the *same*
-        distribution (checkable in tests).
+        distribution (checkable in tests).  Raises
+        :class:`~repro.errors.SaturatedQueueError` at ρ >= 1: the sojourn
+        distribution does not exist there (use the event-driven engine to
+        *simulate* overload instead).
         """
-        if not 0 <= utilization < 1:
-            raise ConfigurationError(
-                f"utilization must be in [0, 1), got {utilization}"
-            )
+        _check_utilization(utilization)
         mean = self.service_ms(relative_throughput) / (1.0 - utilization)
         return float(rng.exponential(mean))
 
     def mean_query_ms(
         self, utilization: float, relative_throughput: float = 1.0
     ) -> float:
-        """Expected fan-out query latency (harmonic max of exponentials)."""
-        if not 0 <= utilization < 1:
-            raise ConfigurationError(
-                f"utilization must be in [0, 1), got {utilization}"
-            )
+        """Expected fan-out query latency (harmonic max of exponentials).
+
+        Raises :class:`~repro.errors.SaturatedQueueError` at ρ >= 1 (the
+        mean diverges).
+        """
+        _check_utilization(utilization)
         service = self.service_ms(relative_throughput) / (1.0 - utilization)
         harmonic = sum(1.0 / k for k in range(1, self.fanout + 1))
         return self.overhead_ms + service * harmonic
@@ -119,18 +161,19 @@ class QueryLatencyModel:
 
     def utilization_for_load(
         self, offered_load: float, relative_throughput: float = 1.0
-    ) -> float:
+    ) -> Utilization:
         """Leaf utilization when offering ``offered_load`` (1.0 = the
-        baseline design's capacity) to a design with the given throughput."""
+        baseline design's capacity) to a design with the given throughput.
+
+        Overload is *representable*: at offered load >= capacity the
+        returned :class:`Utilization` is clamped to 1.0 with
+        ``saturated`` True and ``offered`` preserving the raw ratio —
+        no exception.  Only the closed-form quantile helpers refuse a
+        saturated ρ (:class:`~repro.errors.SaturatedQueueError`).
+        """
         if offered_load < 0:
             raise ConfigurationError("offered_load must be >= 0")
-        utilization = offered_load / relative_throughput
-        if utilization >= 1:
-            raise ConfigurationError(
-                f"design saturates: load {offered_load} vs capacity "
-                f"{relative_throughput}"
-            )
-        return utilization
+        return Utilization(offered_load / relative_throughput)
 
     def tail_within_slo(
         self,
@@ -139,8 +182,14 @@ class QueryLatencyModel:
         relative_throughput: float = 1.0,
         p: float = 0.99,
     ) -> bool:
-        """Does the design keep the p-tail within the SLO at this load?"""
+        """Does the design keep the p-tail within the SLO at this load?
+
+        A saturated design (offered load >= capacity) has an unbounded
+        tail, so the answer is simply False — not an exception.
+        """
         utilization = self.utilization_for_load(offered_load, relative_throughput)
+        if utilization.saturated:
+            return False
         return self.query_quantile_ms(p, utilization, relative_throughput) <= slo_ms
 
 

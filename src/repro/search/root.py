@@ -42,7 +42,7 @@ from repro.errors import (
 )
 from repro.obs.metrics import NULL_REGISTRY, Counter, MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, SpanContext, Tracer
-from repro.search.faults import FaultInjector
+from repro.search.faults import HEDGE_ATTEMPT_OFFSET, FaultInjector
 from repro.search.leaf import LeafServer, SearchHit
 from repro.search.policies import ServingPolicy
 
@@ -184,13 +184,17 @@ class RootServer:
         policy: ServingPolicy,
         tracer: Tracer = NULL_TRACER,
         parent_span: SpanContext | None = None,
+        query_key: int | None = None,
     ) -> tuple[list[SearchHit] | None, float, bool]:
         """One leaf RPC with retries and hedging.
 
         Returns ``(hits, completion_ms, missed_deadline)``; ``hits`` is
         None when the leaf never answered (failure or deadline).  The
         leaf's shard is only scored when its reply would actually arrive
-        in time — lost work is lost.
+        in time — lost work is lost.  ``query_key`` selects the
+        injector's stable keyed RNG streams (per leaf, query, attempt)
+        so the same scenario replayed through the event-driven engine
+        draws identical faults and latencies.
 
         Units: ``budget_ms`` is the remaining deadline budget in
         milliseconds of simulated time (None = no deadline).
@@ -215,7 +219,9 @@ class RootServer:
             if attempt > 1:
                 self._retries.inc()
             try:
-                latency = injector.leaf_latency_ms(leaf_id)
+                latency = injector.leaf_latency_ms(
+                    leaf_id, query_key=query_key, attempt=attempt
+                )
             except LeafUnavailableError as error:
                 elapsed += error.after_ms
                 if budget_ms is not None and elapsed > budget_ms:
@@ -238,7 +244,11 @@ class RootServer:
                 self._hedged.inc()
                 hedged_any = True
                 try:
-                    hedged = injector.leaf_latency_ms(leaf_id)
+                    hedged = injector.leaf_latency_ms(
+                        leaf_id,
+                        query_key=query_key,
+                        attempt=HEDGE_ATTEMPT_OFFSET + attempt,
+                    )
                 except LeafUnavailableError:
                     hedged = None  # the hedge itself failed; keep the primary
                 if hedged is not None:
@@ -273,6 +283,7 @@ class RootServer:
         policy: ServingPolicy = _DEFAULT_POLICY,
         tracer: Tracer = NULL_TRACER,
         parent_span: SpanContext | None = None,
+        query_key: int | None = None,
     ) -> _SubtreeReply:
         """Fan out and merge; children each return their local top-k.
 
@@ -310,6 +321,7 @@ class RootServer:
                     policy,
                     tracer=tracer,
                     parent_span=level_ctx,
+                    query_key=query_key,
                 )
                 if hits is not None:
                     answered += 1
@@ -324,6 +336,7 @@ class RootServer:
                     policy,
                     tracer=tracer,
                     parent_span=level_ctx,
+                    query_key=query_key,
                 )
                 total += reply.total
                 answered += reply.answered
@@ -369,6 +382,7 @@ class RootServer:
         on_incomplete: str = "degrade",
         tracer: Tracer | None = None,
         parent_span: SpanContext | None = None,
+        query_key: int | None = None,
     ) -> SearchResultPage:
         """Serve one query through the whole subtree.
 
@@ -380,7 +394,9 @@ class RootServer:
         expired, :class:`ServingError` when leaves failed outright).
 
         ``tracer``/``parent_span`` continue the front end's query span;
-        leave them unset to serve untraced.
+        leave them unset to serve untraced.  ``query_key`` (the query's
+        arrival sequence number) keys the injector's per-(leaf, query,
+        attempt) RNG streams; None falls back to shared call-order draws.
 
         Units: ``deadline_ms`` is milliseconds of simulated time.
         """
@@ -402,6 +418,7 @@ class RootServer:
             policy,
             tracer=tracer if tracer is not None else NULL_TRACER,
             parent_span=parent_span,
+            query_key=query_key,
         )
         complete = reply.answered == reply.total
         if not complete and on_incomplete == "raise":

@@ -9,6 +9,7 @@ from repro.experiments import (
     discussion,
     fig12,
     fig2,
+    hurryup,
     fig3,
     fig4,
     fig5,
@@ -317,3 +318,40 @@ class TestSlo:
         analytic, simulated = by_series["model-check"]
         assert simulated["mean_ms"] == pytest.approx(analytic["mean_ms"], rel=0.25)
         assert simulated["p99_ms"] == pytest.approx(analytic["p99_ms"], rel=0.4)
+
+
+class TestHurryup:
+    def test_event_driven_serving_shape(self, preset):
+        result = hurryup.run(preset)
+        by_series = {}
+        for row in result.rows:
+            by_series.setdefault(row["series"], []).append(row)
+
+        # Measured open-loop quantiles agree with the closed-form M/M/1
+        # model at the sub-saturation operating point.
+        (engine_row,) = [
+            r
+            for r in by_series["queueing-model-check"]
+            if r["source"] == "event-driven engine"
+        ]
+        assert engine_row["p50_err_pct"] < 5.0
+        assert engine_row["p99_err_pct"] < 5.0
+
+        # Through and past saturation: the run completes, served
+        # throughput plateaus at capacity, and the tail grows.
+        saturation = {r["x"]: r for r in by_series["saturation"]}
+        assert saturation[0.7]["served_rate"] == 1.0
+        assert saturation[1.3]["served_rate"] < 0.9
+        assert saturation[1.3]["served_qps"] <= 125.0 * 1.05
+        p99 = [saturation[rho]["p99_ms"] for rho in (0.7, 1.0, 1.3)]
+        assert p99 == sorted(p99)
+
+        # Hurry-up migration beats FIFO where there is slack to exploit
+        # (at the heaviest load migration overhead eats the benefit).
+        pool = {
+            (r["x"], r["policy"]): r for r in by_series["big-little"]
+        }
+        for qps in (300.0, 500.0):
+            assert pool[(qps, "hurryup")]["miss_rate"] < pool[(qps, "fifo")]["miss_rate"]
+            assert pool[(qps, "hurryup")]["migrations"] > 0
+            assert pool[(qps, "fifo")]["migrations"] == 0

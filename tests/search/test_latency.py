@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SaturatedQueueError
 from repro.search.latency import QueryLatencyModel
 
 
@@ -42,15 +42,32 @@ class TestQueueing:
         assert model.tail_within_slo(10_000.0, 0.5)
         assert not model.tail_within_slo(1.0, 0.9)
 
-    def test_saturation_rejected(self, model):
-        with pytest.raises(ConfigurationError):
-            model.utilization_for_load(1.5, 1.0)
+    def test_saturation_representable(self, model):
+        # Overload no longer raises: the utilization is clamped to 1.0
+        # and flagged, with the offered load preserved for reporting.
+        rho = model.utilization_for_load(1.5, 1.0)
+        assert float(rho) == 1.0
+        assert rho.saturated
+        assert rho.offered == pytest.approx(1.5)
+        healthy = model.utilization_for_load(0.6, 1.0)
+        assert float(healthy) == pytest.approx(0.6)
+        assert not healthy.saturated
+
+    def test_quantiles_raise_saturated_error(self, model):
+        rho = model.utilization_for_load(1.3, 1.0)
+        with pytest.raises(SaturatedQueueError) as info:
+            model.query_quantile_ms(0.99, rho)
+        assert info.value.utilization == pytest.approx(1.3)
+        # SaturatedQueueError is a ServingError, not a config error.
+        assert not isinstance(info.value, ConfigurationError)
 
     def test_validation(self, model):
         with pytest.raises(ConfigurationError):
             model.query_quantile_ms(1.0, 0.5)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(SaturatedQueueError):
             model.leaf_quantile_ms(0.99, 1.0)
+        with pytest.raises(ConfigurationError):
+            model.leaf_quantile_ms(0.99, -0.1)
         with pytest.raises(ConfigurationError):
             QueryLatencyModel(fanout=0)
         with pytest.raises(ConfigurationError):
@@ -76,7 +93,7 @@ class TestSampling:
 
     def test_sample_validation(self, model):
         rng = np.random.default_rng(0)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(SaturatedQueueError):
             model.sample_leaf_ms(rng, 1.0)
         with pytest.raises(ConfigurationError):
             model.sample_leaf_ms(rng, -0.1)

@@ -43,7 +43,7 @@ class ScriptedInjector(FaultInjector):
         super().__init__(FaultSpec(), seed=0)
         self.script = {k: list(v) for k, v in script.items()}
 
-    def leaf_latency_ms(self, leaf_id):
+    def leaf_latency_ms(self, leaf_id, query_key=None, attempt=1):
         self._calls.inc()
         from repro.errors import LeafUnavailableError
 
