@@ -16,6 +16,14 @@ kernels for the *exact* engine behind an explicit selection API: entry
 points throughout this package take ``engine="reference" | "fast" |
 "auto"`` and are bit-identical between engines (the differential suite in
 ``tests/cachesim/test_fastsim_differential.py`` is the contract).
+
+:mod:`repro.cachesim.fused` raises that contract from single runs to whole
+*campaigns*: :func:`~repro.cachesim.fused.simulate_hierarchy_sweep` replays
+a trace once per upstream-hierarchy group instead of once per sweep point,
+derives associativity ladders from one per-set stack-distance pass
+(Mattson inclusion), and can shard a replay across a spawn pool by set
+index — all bit-identical to the per-point engines.  The speed ladder is
+documented in docs/PERFORMANCE.md.
 """
 
 from repro.cachesim.cache import CacheGeometry, SetAssociativeCache
@@ -27,7 +35,9 @@ from repro.cachesim.fastsim import (
     fast_direct_mapped_hits,
     fast_lru_hits,
     fast_lru_hits_for_sets,
+    fast_lru_hits_ladder,
     fast_stack_distances,
+    merge_counter_deltas,
     resolve_engine,
 )
 from repro.cachesim.indexing import (
@@ -36,9 +46,12 @@ from repro.cachesim.indexing import (
     lines_of_addrs,
     set_index,
     set_indices,
+    shard_of_sets,
 )
 from repro.cachesim.mattson import (
     hit_rate_for_capacities,
+    hit_rate_for_ways,
+    set_stack_distances,
     stack_distances,
 )
 from repro.cachesim.opt import opt_hit_rate, simulate_opt
@@ -51,6 +64,11 @@ from repro.cachesim.hierarchy import (
 )
 from repro.cachesim.prefetch import StreamPrefetcher
 from repro.cachesim.missclass import classify_misses, MissBreakdown
+from repro.cachesim.fused import (
+    sharded_lru_hits,
+    sharded_lru_hits_for_sets,
+    simulate_hierarchy_sweep,
+)
 
 __all__ = [
     "CacheGeometry",
@@ -61,16 +79,21 @@ __all__ = [
     "fast_direct_mapped_hits",
     "fast_lru_hits",
     "fast_lru_hits_for_sets",
+    "fast_lru_hits_ladder",
     "fast_stack_distances",
+    "merge_counter_deltas",
     "resolve_engine",
     "block_shift",
     "line_of_addr",
     "lines_of_addrs",
     "set_index",
     "set_indices",
+    "shard_of_sets",
     "simulate_direct_mapped",
     "stack_distances",
+    "set_stack_distances",
     "hit_rate_for_capacities",
+    "hit_rate_for_ways",
     "opt_hit_rate",
     "simulate_opt",
     "MissRatioCurve",
@@ -82,4 +105,7 @@ __all__ = [
     "StreamPrefetcher",
     "classify_misses",
     "MissBreakdown",
+    "sharded_lru_hits",
+    "sharded_lru_hits_for_sets",
+    "simulate_hierarchy_sweep",
 ]

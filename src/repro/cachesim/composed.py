@@ -26,10 +26,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cachesim import fastsim
 from repro.cachesim.composition import (
     CompositeCache,
     StreamComponent,
     merge_streams_by_rate,
+    solve_windows,
 )
 from repro.cachesim.hierarchy import HierarchyConfig
 from repro.errors import ConfigurationError
@@ -53,11 +55,13 @@ class SegmentRates:
     stack: float = 4.0
 
     def __post_init__(self) -> None:
+        """Validate that every segment rate is positive."""
         for name in ("code", "heap", "shard", "stack"):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"rate {name} must be positive")
 
     def of(self, segment: Segment) -> float:
+        """Touch rate of one segment (accesses per kilo-instruction)."""
         return {
             Segment.CODE: self.code,
             Segment.HEAP: self.heap,
@@ -84,6 +88,12 @@ class ComposedHierarchy:
         Window-solver engine for every composed level, passed through to
         :class:`~repro.cachesim.composition.CompositeCache`
         (``"reference"`` | ``"fast"`` | ``"auto"``; all bit-identical).
+    fused:
+        Enable the fused fast path (fast engine only): miss-stream curves
+        are derived from each level's parent curve instead of rebuilt,
+        and L3 re-solves are memoized so capacity sweeps batch through
+        :meth:`solve_l3_sweep`.  Outputs are bit-identical either way;
+        ``False`` exists to benchmark the per-point construction path.
     """
 
     def __init__(
@@ -93,7 +103,9 @@ class ComposedHierarchy:
         config: HierarchyConfig,
         threads: int = 1,
         engine: str = "reference",
+        fused: bool = True,
     ) -> None:
+        """Compose the L1/L2/L3 caches from the per-segment streams."""
         if threads < 1:
             raise ConfigurationError(f"threads must be >= 1, got {threads}")
         blocks = {
@@ -112,14 +124,20 @@ class ComposedHierarchy:
         self.config = config
         self.threads = threads
         self.engine = engine
+        self.fused = fused
         self.block_size = blocks.pop()
+        #: Memoized L3 re-solves keyed on capacity in lines (fused only).
+        self._l3_solves: dict[int, CompositeCache] = {}
 
         # ---- L1-I: code alone -------------------------------------------
         code = StreamComponent(
             "code", streams[Segment.CODE], rate=rates.code
         )
         self.l1i = CompositeCache(
-            [code], config.l1i.geometry.capacity_lines, engine=engine
+            [code],
+            config.l1i.geometry.capacity_lines,
+            engine=engine,
+            fused=fused,
         )
 
         # ---- L1-D: data segments ----------------------------------------
@@ -132,7 +150,10 @@ class ComposedHierarchy:
                 StreamComponent("stack", streams[Segment.STACK], rate=rates.stack)
             )
         self.l1d = CompositeCache(
-            data_components, config.l1d.geometry.capacity_lines, engine=engine
+            data_components,
+            config.l1d.geometry.capacity_lines,
+            engine=engine,
+            fused=fused,
         )
 
         # ---- L2: both L1s' misses ----------------------------------------
@@ -151,7 +172,10 @@ class ComposedHierarchy:
         if not l2_components:
             raise ConfigurationError("nothing missed the L1s; enlarge the streams")
         self.l2 = CompositeCache(
-            l2_components, config.l2.geometry.capacity_lines, engine=engine
+            l2_components,
+            config.l2.geometry.capacity_lines,
+            engine=engine,
+            fused=fused,
         )
 
         # ---- L3 inputs: all threads' L2 misses ----------------------------
@@ -168,6 +192,7 @@ class ComposedHierarchy:
                     lines=miss.lines,
                     rate=miss.rate,
                     multiplicity=threads,
+                    curve=miss.curve,
                 )
             else:
                 miss = miss.scaled_rate(threads)
@@ -180,6 +205,7 @@ class ComposedHierarchy:
                 self._l3_inputs,
                 config.l3.geometry.capacity_lines,
                 engine=engine,
+                fused=fused,
             )
             if config.l3 is not None
             else None
@@ -256,12 +282,63 @@ class ComposedHierarchy:
     # ------------------------------------------------------------------
 
     def l3_at(self, capacity_bytes: int) -> CompositeCache:
-        """Re-solve the shared L3 at another capacity (cheap)."""
+        """Re-solve the shared L3 at another capacity (cheap, memoized).
+
+        When the hierarchy is fused, solves are memoized per capacity (in
+        lines), so sweeps batch-primed through :meth:`solve_l3_sweep` —
+        and repeated checkpoint queries — cost one lookup.
+
+        Units: ``capacity_bytes`` is the L3 capacity in bytes.
+        """
         lines = max(1, capacity_bytes // self.block_size)
-        return CompositeCache(self._l3_inputs, lines, engine=self.engine)
+        cached = self._l3_solves.get(lines)
+        if cached is not None:
+            return cached
+        cache = CompositeCache(
+            self._l3_inputs, lines, engine=self.engine, fused=self.fused
+        )
+        if self.fused:
+            self._l3_solves[lines] = cache
+        return cache
+
+    def solve_l3_sweep(
+        self, capacities_bytes: list[int] | np.ndarray
+    ) -> list[CompositeCache]:
+        """Solve the L3 at many capacities in one lockstep pass.
+
+        On the fast engine with fusion enabled, all not-yet-memoized
+        capacities go through a single
+        :func:`~repro.cachesim.composition.solve_windows` call — every
+        element of the batch follows the scalar bisection recurrence
+        independently, so each resulting cache is bit-identical to a
+        per-point :meth:`l3_at` solve.  On the reference engine (or with
+        ``fused=False``) this degrades to per-point solves.  Returns the
+        caches in request order.
+
+        Units: ``capacities_bytes`` are L3 capacities in bytes.
+        """
+        if self.fused and fastsim.resolve_engine(self.engine) == "fast":
+            seen: dict[int, None] = {}
+            for capacity in capacities_bytes:
+                seen.setdefault(max(1, int(capacity) // self.block_size))
+            todo = [c for c in seen if c not in self._l3_solves]
+            if todo:
+                windows = solve_windows(self._l3_inputs, todo)
+                for lines, window in zip(todo, windows):
+                    self._l3_solves[lines] = CompositeCache(
+                        self._l3_inputs,
+                        lines,
+                        engine=self.engine,
+                        window=float(window),
+                        fused=True,
+                    )
+        return [self.l3_at(int(c)) for c in capacities_bytes]
 
     def l3_hit_rate(self, capacity_bytes: int, segment: Segment | None = None) -> float:
-        """Overall (rate-weighted) or per-segment L3 hit rate at a capacity."""
+        """Overall (rate-weighted) or per-segment L3 hit rate at a capacity.
+
+        Units: ``capacity_bytes`` is the L3 capacity in bytes.
+        """
         cache = self.l3_at(capacity_bytes)
         if segment is not None:
             name = segment.name.lower()
@@ -275,7 +352,10 @@ class ComposedHierarchy:
         ) / total_rate
 
     def l3_mpki(self, capacity_bytes: int, segment: Segment | None = None) -> float:
-        """L3 MPKI at an arbitrary capacity (Figure 6c)."""
+        """L3 MPKI at an arbitrary capacity (Figure 6c).
+
+        Units: ``capacity_bytes`` is the L3 capacity in bytes.
+        """
         cache = self.l3_at(capacity_bytes)
         if segment is None:
             return cache.total_mpki() / self.threads
@@ -291,6 +371,8 @@ class ComposedHierarchy:
 
         This is the demand an L4 victim cache observes; segments are
         :class:`~repro.memtrace.trace.Segment` values.
+
+        Units: ``l3_capacity_bytes`` is the L3 capacity in bytes.
         """
         cache = self.l3_at(l3_capacity_bytes)
         miss_components = [

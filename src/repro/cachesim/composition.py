@@ -48,13 +48,21 @@ class StreamComponent:
     multiplicity:
         Number of identical, mutually-private instances of this stream
         (per-thread stacks); footprint scales by it, hit rates do not.
+    curve:
+        Optional precomputed miss-ratio curve of ``lines``.  Curve
+        construction dominates composed-hierarchy cost, so callers that
+        already hold an equivalent curve — a rate rescale of the same
+        stream, or a :meth:`~repro.cachesim.misscurve.MissRatioCurve.filtered`
+        derivation of the parent level's curve — pass it through instead
+        of rebuilding.  Omitted, the curve is built from ``lines``; either
+        way the curve state is bit-identical.
     """
 
     name: str
     lines: np.ndarray
     rate: float
     multiplicity: int = 1
-    curve: MissRatioCurve = field(init=False)
+    curve: MissRatioCurve | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -65,7 +73,8 @@ class StreamComponent:
             )
         if len(self.lines) == 0:
             raise TraceError(f"stream {self.name!r} is empty")
-        self.curve = MissRatioCurve(self.lines)
+        if self.curve is None:
+            self.curve = MissRatioCurve(self.lines)
 
     @property
     def total_rate(self) -> float:
@@ -73,12 +82,17 @@ class StreamComponent:
         return self.rate * self.multiplicity
 
     def scaled_rate(self, factor: float) -> "StreamComponent":
-        """Same stream at a different rate (e.g. T threads sharing it)."""
+        """Same stream at a different rate (e.g. T threads sharing it).
+
+        The miss-ratio curve depends only on the line stream, so the
+        rescaled component shares this one's curve instead of rebuilding.
+        """
         return StreamComponent(
             name=self.name,
             lines=self.lines,
             rate=self.rate * factor,
             multiplicity=self.multiplicity,
+            curve=self.curve,
         )
 
 
@@ -126,6 +140,19 @@ class CompositeCache:
     ``engine`` selects the window solver: ``"reference"`` is the scalar
     bisection, ``"fast"``/``"auto"`` route through the lockstep batch
     solver :func:`solve_windows` (bit-identical by construction).
+
+    ``window`` injects a pre-solved residency window (kilo-instructions),
+    skipping the solve entirely — :meth:`repro.cachesim.composed.\
+ComposedHierarchy.solve_l3_sweep` solves a whole capacity ladder in one
+    lockstep pass and builds each cache this way.  The injected value must
+    come from :func:`solve_windows` over the same components, which makes
+    it bit-identical to what the in-constructor solve would produce.
+
+    ``fused`` (fast engine only) lets :meth:`miss_component` derive the
+    miss stream's curve from the parent curve via
+    :meth:`~repro.cachesim.misscurve.MissRatioCurve.filtered` instead of
+    rebuilding it — same numbers, a fraction of the cost.  Pass ``False``
+    to benchmark the unfused construction path.
     """
 
     def __init__(
@@ -133,6 +160,9 @@ class CompositeCache:
         components: list[StreamComponent],
         capacity_lines: int,
         engine: str = "reference",
+        *,
+        window: float | None = None,
+        fused: bool = True,
     ) -> None:
         from repro.cachesim import fastsim
 
@@ -146,7 +176,11 @@ class CompositeCache:
         self.components = {c.name: c for c in components}
         self.capacity_lines = capacity_lines
         self.engine = engine
-        if fastsim.resolve_engine(engine) == "fast":
+        self._fast = fastsim.resolve_engine(engine) == "fast"
+        self._fused = fused
+        if window is not None:
+            self._window = float(window)
+        elif self._fast:
             self._window = float(
                 solve_windows(components, [capacity_lines])[0]
             )
@@ -223,11 +257,18 @@ class CompositeCache:
         if len(miss_lines) < 2:
             return None
         miss_fraction = len(miss_lines) / len(component.lines)
+        assert component.curve is not None  # established in __post_init__
+        curve = (
+            component.curve.filtered(miss_mask)
+            if self._fast and self._fused
+            else None
+        )
         return StreamComponent(
             name=name,
             lines=miss_lines,
             rate=component.rate * miss_fraction,
             multiplicity=component.multiplicity,
+            curve=curve,
         )
 
     def mpki(self, name: str) -> float:

@@ -121,6 +121,21 @@ def _record_kernel(accesses: int) -> None:
     _COUNTERS["accesses"] += accesses
 
 
+def merge_counter_deltas(delta: dict[str, float]) -> None:
+    """Fold a worker's counter delta into this process's counters.
+
+    The set-sharded replay (:func:`repro.cachesim.fused.sharded_lru_hits`)
+    runs kernels in spawned pool workers; each worker snapshots its
+    counters around the kernel call and ships the difference back, and the
+    parent folds the deltas in here so campaign telemetry matches a
+    serial replay's access totals (kernel-call counts reflect the actual
+    per-shard calls).  This is the same worker-delta pattern the parallel
+    experiment runner uses (``parallel._run_task``).
+    """
+    for key in _COUNTERS:
+        _COUNTERS[key] += int(delta.get(key, 0))  # repro: noqa RPR701 -- process-local telemetry, never feeds results; folds sharded-replay worker deltas into the parent (the sanctioned worker-delta pattern)
+
+
 def enable_timing(enabled: bool = True) -> None:
     """Opt into wall-time tracking of kernel calls (benchmarks only).
 
@@ -401,6 +416,56 @@ def fast_lru_hits(lines: np.ndarray, num_sets: int, ways: int) -> np.ndarray:
     return hits
 
 
+def fast_lru_hits_ladder(
+    lines: np.ndarray, num_sets: int, ways_ladder: list[int] | np.ndarray
+) -> np.ndarray:
+    """Hit masks of a cold-started LRU cache at several associativities.
+
+    The one-pass Mattson mode for associativity ladders: with the set
+    geometry fixed, LRU obeys stack inclusion *per set* — an access hits
+    a ``W``-way set iff its per-set stack distance is at most ``W`` — so
+    one stable sort by set and one stack-distance pass yield the hit mask
+    of every ladder entry at once, instead of one full replay per entry.
+    Row ``k`` of the returned ``(len(ways_ladder), len(lines))`` bool
+    array is bit-identical to ``fast_lru_hits(lines, num_sets,
+    ways_ladder[k])`` (the differential suite pins this).
+
+    Capacity ladders that vary ``num_sets`` do **not** satisfy inclusion
+    (lines migrate between sets); sweep those per point — see
+    :func:`repro.cachesim.fused.simulate_hierarchy_sweep`, which shares
+    the upstream passes and falls back per point only for the final
+    level.
+    """
+    if num_sets <= 0:
+        raise ConfigurationError(f"num_sets must be positive, got {num_sets}")
+    ways_list = [int(w) for w in ways_ladder]
+    if not ways_list:
+        raise ConfigurationError("ways_ladder must not be empty")
+    if any(w <= 0 for w in ways_list):
+        raise ConfigurationError(f"ways must be positive: {ways_list}")
+    n = len(lines)
+    hits = np.empty((len(ways_list), n), bool)
+    if n == 0:
+        return hits
+    with _KernelTimer():
+        lines64 = np.asarray(lines).astype(np.int64, copy=False)
+        if num_sets == 1:
+            order = None
+            distances = _stack_distances(lines64)
+        else:
+            sets = set_indices(lines64, num_sets)
+            order = np.argsort(sets, kind="stable")
+            distances = _stack_distances(lines64[order])
+        for k, ways in enumerate(ways_list):
+            mask = (distances != COLD) & (distances <= ways)
+            if order is None:
+                hits[k] = mask
+            else:
+                hits[k, order] = mask
+    _record_kernel(n)
+    return hits
+
+
 def fast_lru_hits_for_sets(
     lines: np.ndarray, sets: np.ndarray, ways: int
 ) -> np.ndarray:
@@ -506,6 +571,7 @@ class FastSetAssociativeCache:
     """
 
     def __init__(self, geometry: CacheGeometry, replacement: str = "lru") -> None:
+        """Allocate the dense per-set tag/age state for ``geometry``."""
         if replacement != "lru":
             raise ConfigurationError(
                 "the fast set-associative kernel is exact for LRU only; "

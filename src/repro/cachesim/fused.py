@@ -1,0 +1,297 @@
+"""Fused whole-hierarchy sweeps: decode and replay a trace once per campaign.
+
+The paper's headline figures are sweeps — L3 capacity 4 MiB → 2 GiB
+(Figure 6), associativity 1 → full (Figure 7), L4 sizes (Figures 12–14) —
+and a per-point replay spends the vectorized kernels' speedup N times
+over: every sweep point re-filters the trace through L1-I/L1-D/L2 even
+though only the last level changed.  This module fuses the campaign:
+
+* **Shared upstream passes.**  Configurations are grouped by their
+  (L1-I, L1-D, L2) geometries; each group replays the trace through the
+  upstream levels exactly once — the same warm-state handoff as a
+  per-point run, each level's miss stream feeding the next — and every
+  configuration in the group receives its own copy of the shared
+  :class:`~repro.cachesim.results.LevelStats`.
+* **One-pass Mattson ladders.**  Within a group, last-level
+  configurations that share ``(block_size, num_sets)`` form an
+  associativity ladder: per-set LRU stack inclusion holds, so one
+  stack-distance pass over the (already filtered) last-level stream
+  yields every ladder entry's hit mask
+  (:func:`repro.cachesim.fastsim.fast_lru_hits_ladder`).  Capacity
+  ladders vary ``num_sets``, which breaks inclusion (lines migrate
+  between sets) — those points fall back to one kernel call each, still
+  sharing the upstream passes.
+* **Set-sharded parallel replay.**  LRU sets are independent, so a
+  replay partitions by ``set % jobs`` and fans out over a spawned
+  process pool; hit masks scatter back bit-identically and worker kernel
+  counters merge into the parent via the sanctioned worker-delta pattern
+  (:func:`repro.cachesim.fastsim.merge_counter_deltas`).
+
+The TLB sits beside the cache sweep rather than inside it: translations
+depend only on the trace and the page size, never on cache geometry, so
+one :func:`repro.cpu.tlb.simulate_tlb` pass (itself vectorized behind
+``engine="fast"``) covers a whole campaign.  The L4 likewise consumes
+the swept L3's miss stream (:meth:`~repro.cachesim.composed.\
+ComposedHierarchy.l4_demand` with memoized L3 solves) through the
+already-vectorized direct-mapped kernel.  Prefetchers and inclusive
+hierarchies remain exact-engine territory: ``engine="auto"`` falls back
+to per-point reference simulation for them, ``engine="fast"`` raises.
+
+Everything here is bit-identical to per-point replay — enforced by the
+Hypothesis differential suite (``tests/cachesim/test_fused.py``) and the
+fig6/fig7/fig12 golden byte-equality tests.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.cachesim import fastsim
+from repro.cachesim.fastsim import (
+    fast_lru_hits,
+    fast_lru_hits_for_sets,
+    fast_lru_hits_ladder,
+)
+from repro.cachesim.hierarchy import (
+    HierarchyConfig,
+    _fast_level_pass,
+    simulate_hierarchy,
+)
+from repro.cachesim.indexing import lines_of_addrs, set_indices, shard_of_sets
+from repro.cachesim.results import HierarchyResult, LevelStats
+from repro.errors import ConfigurationError, SimulationError
+from repro.memtrace.trace import AccessKind, Trace
+
+#: Below this many accesses a sharded replay runs in-process: pool spawn
+#: costs more than the kernel saves.
+MIN_SHARDED_ACCESSES = 200_000  # repro: noqa RPR001 -- access count, not a size
+
+
+# ----------------------------------------------------------------------
+# Set-sharded parallel replay
+# ----------------------------------------------------------------------
+
+
+def _shard_worker(
+    lines: np.ndarray, sets: np.ndarray, ways: int
+) -> tuple[np.ndarray, dict[str, float]]:
+    """Replay one set shard; return its hit mask and the counter delta.
+
+    Runs in a spawned pool worker.  The counters are snapshotted around
+    the kernel call (workers are reused across shards) and the delta is
+    shipped back for the parent to fold in via
+    :func:`repro.cachesim.fastsim.merge_counter_deltas`.
+    """
+    before = fastsim.counters_snapshot()
+    hits = fast_lru_hits_for_sets(lines, sets, ways)
+    after = fastsim.counters_snapshot()
+    delta = {key: after[key] - before[key] for key in before}
+    return hits, delta
+
+
+def sharded_lru_hits_for_sets(
+    lines: np.ndarray, sets: np.ndarray, ways: int, jobs: int = 1
+) -> np.ndarray:
+    """Cold-start LRU hit mask, replayed in parallel over set shards.
+
+    Accesses are partitioned by ``set % jobs`` — every set's subsequence
+    lands intact in exactly one shard, and sets never interact under LRU,
+    so scattering the per-shard masks back reproduces
+    :func:`~repro.cachesim.fastsim.fast_lru_hits_for_sets` bit for bit.
+    Workers are spawned (never forked) processes, matching the parallel
+    experiment runner; their kernel-counter deltas merge into this
+    process so telemetry totals match a serial replay.  Streams below
+    :data:`MIN_SHARDED_ACCESSES` run in-process regardless of ``jobs``.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if len(lines) != len(sets):
+        raise ConfigurationError(
+            f"lines and sets must align: {len(lines)} vs {len(sets)}"
+        )
+    if jobs == 1 or len(lines) < MIN_SHARDED_ACCESSES:
+        return fast_lru_hits_for_sets(lines, sets, ways)
+    lines64 = np.asarray(lines).astype(np.int64, copy=False)
+    sets64 = np.asarray(sets).astype(np.int64, copy=False)
+    shard = shard_of_sets(sets64, jobs)
+    hits = np.empty(len(lines64), bool)
+    with ProcessPoolExecutor(
+        max_workers=jobs, mp_context=get_context("spawn")
+    ) as pool:
+        masks = []
+        futures = []
+        for s in range(jobs):
+            mask = shard == s
+            if not mask.any():
+                continue
+            masks.append(mask)
+            futures.append(
+                pool.submit(_shard_worker, lines64[mask], sets64[mask], ways)
+            )
+        for mask, future in zip(masks, futures):
+            shard_hits, delta = future.result()
+            hits[mask] = shard_hits
+            fastsim.merge_counter_deltas(delta)
+    return hits
+
+
+def sharded_lru_hits(
+    lines: np.ndarray, num_sets: int, ways: int, jobs: int = 1
+) -> np.ndarray:
+    """Set-sharded counterpart of :func:`~repro.cachesim.fastsim.fast_lru_hits`.
+
+    Derives each line's set (``line % num_sets``) and dispatches to
+    :func:`sharded_lru_hits_for_sets`; with ``jobs=1`` (or a small
+    stream) this is exactly a serial kernel call.  Composes with the
+    experiment runner's ``--jobs``: the runner parallelizes across
+    experiments, this across the sets of one replay — disjoint axes.
+    """
+    if num_sets <= 0 or ways <= 0:
+        raise ConfigurationError(
+            f"num_sets and ways must be positive: {num_sets}, {ways}"
+        )
+    if jobs == 1 or len(lines) < MIN_SHARDED_ACCESSES:
+        return fast_lru_hits(lines, num_sets, ways)
+    lines64 = np.asarray(lines).astype(np.int64, copy=False)
+    return sharded_lru_hits_for_sets(
+        lines64, set_indices(lines64, num_sets), ways, jobs=jobs
+    )
+
+
+# ----------------------------------------------------------------------
+# Fused hierarchy sweeps
+# ----------------------------------------------------------------------
+
+
+def _upstream_pass(
+    trace: Trace, config: HierarchyConfig
+) -> tuple[dict[str, LevelStats], np.ndarray]:
+    """Replay the trace through L1-I/L1-D/L2 once; return stats + L3 input.
+
+    Identical filtering to ``hierarchy._simulate_fast`` — each private
+    level sees its thread's stream filtered by the level above (the
+    warm-state handoff), and the returned indices are the program-order
+    merge of every thread's L2 misses.
+    """
+    stats = {name: LevelStats(name=name) for name in ("L1I", "L1D", "L2")}
+    is_instr = trace.kind == AccessKind.INSTR
+    l2_parts: list[np.ndarray] = []
+    for t in trace.thread_ids():
+        of_thread = trace.thread == np.uint16(t)
+        instr_idx = np.flatnonzero(of_thread & is_instr)
+        data_idx = np.flatnonzero(of_thread & ~is_instr)
+        misses: list[np.ndarray] = []
+        if len(instr_idx):
+            misses.append(
+                _fast_level_pass(trace, instr_idx, config.l1i.geometry, stats["L1I"])
+            )
+        if len(data_idx):
+            misses.append(
+                _fast_level_pass(trace, data_idx, config.l1d.geometry, stats["L1D"])
+            )
+        if not misses:
+            continue
+        l2_in = np.sort(np.concatenate(misses))
+        if len(l2_in):
+            l2_parts.append(
+                _fast_level_pass(trace, l2_in, config.l2.geometry, stats["L2"])
+            )
+    l3_idx = (
+        np.sort(np.concatenate(l2_parts)) if l2_parts else np.empty(0, np.int64)
+    )
+    return stats, l3_idx
+
+
+def simulate_hierarchy_sweep(
+    trace: Trace,
+    configs: list[HierarchyConfig],
+    engine: str = "auto",
+    jobs: int = 1,
+) -> list[HierarchyResult]:
+    """Simulate many hierarchy configurations with shared passes.
+
+    The campaign form of
+    :func:`~repro.cachesim.hierarchy.simulate_hierarchy`: results are
+    returned in ``configs`` order and each is bit-identical to a
+    per-point ``simulate_hierarchy(trace, config, engine="fast")`` run.
+    Work is shared at two levels — one upstream L1/L2 replay per distinct
+    (L1-I, L1-D, L2) geometry triple, and one stack-distance pass per
+    last-level associativity ladder (fixed block size and set count);
+    capacity points that change the set count break Mattson inclusion
+    and replay the (already filtered) L3 stream per point, optionally
+    sharded over ``jobs`` spawned workers.
+
+    ``engine`` follows the usual contract: inclusive hierarchies are not
+    vectorizable, so ``"fast"`` raises on them and ``"auto"`` falls back
+    to per-point reference simulation.
+    """
+    if not configs:
+        raise ConfigurationError("need at least one hierarchy configuration")
+    if len(trace) == 0:
+        raise SimulationError("cannot simulate an empty trace")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    fast_ok = all(not config.inclusive for config in configs)
+    if fastsim.resolve_engine(engine, fast_supported=fast_ok) == "reference":
+        return [
+            simulate_hierarchy(trace, config, engine="exact")
+            for config in configs
+        ]
+
+    results: list[HierarchyResult | None] = [None] * len(configs)
+    groups: dict[tuple, list[int]] = {}
+    for i, config in enumerate(configs):
+        key = (config.l1i.geometry, config.l1d.geometry, config.l2.geometry)
+        groups.setdefault(key, []).append(i)
+
+    for members in groups.values():
+        upstream, l3_idx = _upstream_pass(trace, configs[members[0]])
+
+        # Sub-group the last level into associativity ladders.
+        ladders: dict[tuple[int, int], list[int]] = {}
+        for i in members:
+            l3 = configs[i].l3
+            if l3 is None or not len(l3_idx):
+                levels = {name: s.copy() for name, s in upstream.items()}
+                if l3 is not None:
+                    # Nothing reached the L3; keep its zeroed stats so the
+                    # result matches a per-point run level for level.
+                    levels["L3"] = LevelStats(name="L3")
+                results[i] = HierarchyResult(
+                    levels=levels,
+                    instruction_count=trace.instruction_count,
+                )
+                continue
+            geo = l3.geometry
+            ladders.setdefault((geo.block_size, geo.num_sets), []).append(i)
+
+        lines_by_block: dict[int, np.ndarray] = {}
+        for (block_size, num_sets), ladder in ladders.items():
+            lines = lines_by_block.get(block_size)
+            if lines is None:
+                lines = lines_of_addrs(trace.addr[l3_idx], block_size)
+                lines_by_block[block_size] = lines
+            segments = trace.segment[l3_idx]
+            kinds = trace.kind[l3_idx]
+            if len(ladder) > 1:
+                ways = [configs[i].l3.geometry.effective_ways for i in ladder]
+                masks = fast_lru_hits_ladder(lines, num_sets, ways)
+            else:
+                ways = [configs[ladder[0]].l3.geometry.effective_ways]
+                masks = [
+                    sharded_lru_hits(lines, num_sets, ways[0], jobs=jobs)
+                ]
+            for i, hits in zip(ladder, masks):
+                stats = {name: s.copy() for name, s in upstream.items()}
+                l3_stats = LevelStats(name="L3")
+                l3_stats.record_arrays(segments, kinds, hits)
+                stats["L3"] = l3_stats
+                results[i] = HierarchyResult(
+                    levels=stats, instruction_count=trace.instruction_count
+                )
+
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]

@@ -22,6 +22,12 @@ Engines:
   Figure 7a (conflict misses beyond L1 under 1%).  Returns an
   :class:`AnalyticHierarchyResult` that keeps the post-L2 stream and its
   miss-ratio curve, so L3 capacity sweeps and L4 studies reuse the same pass.
+
+For *sweeps* over many configurations of the same trace, prefer
+:func:`repro.cachesim.fused.simulate_hierarchy_sweep`: it shares the
+upstream L1/L2 replay across every point with the same upstream geometry
+and derives whole associativity ladders from one L3 pass, bit-identical
+to calling :func:`simulate_hierarchy` per point.
 """
 
 from __future__ import annotations

@@ -76,6 +76,67 @@ def stack_distances(lines: np.ndarray) -> np.ndarray:
     return distances
 
 
+def set_stack_distances(lines: np.ndarray, num_sets: int) -> np.ndarray:
+    """Exact per-set LRU stack distance of every access (reference loop).
+
+    The set-associative generalization of :func:`stack_distances`: each
+    access's distance is computed within its set's subsequence (``set =
+    line % num_sets``), so an access hits a ``W``-way set-associative LRU
+    cache iff its per-set distance is at most ``W`` — the inclusion
+    property the one-pass associativity ladders rest on.  Cold accesses
+    get :data:`COLD`.  Python loop; use
+    :func:`repro.cachesim.fastsim.fast_lru_hits_ladder` at scale.
+    """
+    if num_sets <= 0:
+        raise TraceError(f"num_sets must be positive, got {num_sets}")
+    n = len(lines)
+    distances = np.empty(n, np.int64)
+    stacks: dict[int, list[int]] = {}
+    for i, line in enumerate(np.asarray(lines).tolist()):
+        stack = stacks.setdefault(line % num_sets, [])
+        try:
+            depth = stack.index(line)
+        except ValueError:
+            distances[i] = COLD
+        else:
+            distances[i] = depth + 1
+            del stack[depth]
+        stack.insert(0, line)
+    return distances
+
+
+def hit_rate_for_ways(
+    lines: np.ndarray,
+    num_sets: int,
+    ways_ladder: list[int] | np.ndarray,
+    engine: str = "reference",
+) -> np.ndarray:
+    """Exact set-associative LRU hit rates for several ways at once.
+
+    One stack-distance pass serves the whole associativity ladder (per-set
+    LRU inclusion); with ``engine="fast"``/``"auto"`` the distances come
+    from the vectorized grouped kernel behind
+    :func:`repro.cachesim.fastsim.fast_lru_hits_ladder`, bit-identical to
+    the reference loop here.  Hit rates are returned in ladder order.
+    """
+    from repro.cachesim import fastsim
+
+    if len(lines) == 0:
+        raise TraceError("hit rate of an empty stream is undefined")
+    ways = np.asarray(ways_ladder, np.int64)
+    if len(ways) == 0 or (ways <= 0).any():
+        raise TraceError("ways_ladder must be non-empty and positive")
+    if fastsim.resolve_engine(engine) == "fast":
+        masks = fastsim.fast_lru_hits_ladder(
+            np.asarray(lines, np.int64), num_sets, ways
+        )
+        return np.count_nonzero(masks, axis=1) / len(lines)
+    distances = set_stack_distances(lines, num_sets)
+    finite = np.sort(distances[distances != COLD])
+    hits = np.searchsorted(finite, ways, side="right")
+    return hits / len(lines)
+
+
 def hit_rate_for_capacities(
     lines: np.ndarray,
     capacities_lines: np.ndarray | list[int],

@@ -47,14 +47,28 @@ class MissRatioCurve:
         n = len(lines)
         if n == 0:
             raise TraceError("cannot build a miss-ratio curve from an empty stream")
-        self._n = n
         lines = np.asarray(lines)
 
         # Group each line's accesses (stable sort keeps program order within
         # a group): adjacent entries of a group are consecutive touches.
-        order = np.argsort(lines, kind="stable")
-        sorted_lines = lines[order]
-        positions = order.astype(np.int64) + 1  # 1-based
+        order = np.argsort(lines, kind="stable").astype(np.int64)
+        self._init_from_order(n, order, lines[order])
+
+    def _init_from_order(
+        self, n: int, order: np.ndarray, sorted_lines: np.ndarray
+    ) -> None:
+        """Shared constructor tail given the stable sort of the stream.
+
+        ``order`` is the stable argsort of the stream and ``sorted_lines``
+        the stream gathered through it.  :meth:`filtered` re-enters here
+        with a *derived* sort — identical inputs produce identical curve
+        state, which is what makes derived curves bit-identical to freshly
+        built ones.
+        """
+        self._n = n
+        self._order = order
+        self._sorted_lines = sorted_lines
+        positions = order + 1  # 1-based
 
         first_of_group = np.empty(n, bool)
         first_of_group[0] = True
@@ -85,6 +99,35 @@ class MissRatioCurve:
         self._gap_suffix_sum = suffix
 
         self._reuse_sorted_nonzero = np.sort(self._reuse[self._reuse > 0])
+
+    def filtered(self, mask: np.ndarray) -> "MissRatioCurve":
+        """Curve of the subsequence ``lines[mask]`` without a new argsort.
+
+        Filtering preserves relative order, so the stable sort of the
+        subsequence is exactly the subsequence of this curve's stable sort:
+        gathering the stored sort through ``mask`` and renumbering
+        positions yields the same ``(order, sorted_lines)`` a fresh
+        ``MissRatioCurve(lines[mask])`` would compute — the derived curve
+        is bit-identical to a fresh one (the differential suite pins
+        this).  Used by the fused composition engine to build each level's
+        miss-stream curve in O(n) instead of O(n log n).
+        """
+        mask = np.asarray(mask, bool)
+        if len(mask) != self._n:
+            raise TraceError(
+                f"mask length {len(mask)} does not match stream length {self._n}"
+            )
+        n = int(np.count_nonzero(mask))
+        if n == 0:
+            raise TraceError("cannot build a miss-ratio curve from an empty stream")
+        keep = mask[self._order]
+        # New 0-based position of each surviving access in the subsequence.
+        new_index = np.cumsum(mask, dtype=np.int64) - 1
+        out = MissRatioCurve.__new__(MissRatioCurve)
+        out._init_from_order(
+            n, new_index[self._order[keep]], self._sorted_lines[keep]
+        )
+        return out
 
     # ------------------------------------------------------------------
     # Core curve functions

@@ -52,6 +52,19 @@ class LevelStats:
         miss_counts = np.bincount(flat[~hits], minlength=self.misses.size)
         self.misses += miss_counts.reshape(self.misses.shape)
 
+    def copy(self) -> "LevelStats":
+        """Independent deep copy of the count matrices.
+
+        The fused sweep engine (:mod:`repro.cachesim.fused`) runs the
+        upstream levels once per configuration group and hands every
+        configuration its own copy of the shared stats.
+        """
+        return LevelStats(
+            name=self.name,
+            accesses=self.accesses.copy(),
+            misses=self.misses.copy(),
+        )
+
     def merged(self, other: "LevelStats") -> "LevelStats":
         """Combine two stats objects (e.g. per-thread private caches)."""
         if other.name != self.name:

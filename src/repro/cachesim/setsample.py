@@ -40,12 +40,14 @@ class SampledEstimate:
 
     @property
     def hit_rate(self) -> float:
+        """Hit rate over the sampled accesses (the full-cache estimate)."""
         if self.sampled_accesses == 0:
             raise TraceError("no accesses fell into the sampled sets")
         return self.sampled_hits / self.sampled_accesses
 
     @property
     def sample_fraction(self) -> float:
+        """Fraction of the cache's sets that were actually simulated."""
         return self.sampled_sets / self.total_sets
 
 
@@ -56,6 +58,7 @@ def sampled_hit_rate(
     seed: int = 0,
     replacement: str = "lru",
     engine: str = "reference",
+    jobs: int = 1,
 ) -> SampledEstimate:
     """Estimate a cache's hit rate by simulating a sample of its sets.
 
@@ -63,7 +66,10 @@ def sampled_hit_rate(
     policy); only accesses mapping to them are replayed.  ``engine="fast"``
     replays them through the vectorized LRU kernel (LRU only — FIFO falls
     back to the reference loop under ``"auto"`` and raises under
-    ``"fast"``); the estimate is bit-identical either way.
+    ``"fast"``); the estimate is bit-identical either way.  ``jobs > 1``
+    additionally shards the fast replay across a spawn-based worker pool by
+    set index (sets are independent, so the counts stay bit-identical; see
+    :func:`repro.cachesim.fused.sharded_lru_hits_for_sets`).
     """
     from repro.cachesim import fastsim
 
@@ -94,9 +100,16 @@ def sampled_hit_rate(
     dense_index[np.sort(chosen)] = np.arange(sampled_sets)
     dense_sets = dense_index[set_of[keep]]
     if resolved == "fast":
-        hit_mask = fastsim.fast_lru_hits_for_sets(
-            sampled_lines, dense_sets, geometry.effective_ways
-        )
+        if jobs > 1:
+            from repro.cachesim import fused  # deferred: only sharded runs need it
+
+            hit_mask = fused.sharded_lru_hits_for_sets(
+                sampled_lines, dense_sets, geometry.effective_ways, jobs=jobs
+            )
+        else:
+            hit_mask = fastsim.fast_lru_hits_for_sets(
+                sampled_lines, dense_sets, geometry.effective_ways
+            )
         hits = int(np.count_nonzero(hit_mask))
     else:
         mini = _MiniCache(sampled_sets, geometry.effective_ways, replacement)

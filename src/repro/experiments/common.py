@@ -29,10 +29,12 @@ class RunCache:
 
     def __init__(self) -> None:
         self.runs: dict[tuple, ComposedHierarchy] = {}
+        self.traces: dict[tuple, object] = {}
 
     def clear(self) -> None:
         """Drop every memoized run (tests use this to control memory)."""
         self.runs.clear()
+        self.traces.clear()
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -45,6 +47,7 @@ class RunCache:
     def __setstate__(self, state: dict) -> None:
         del state
         self.runs = {}
+        self.traces = {}
 
 
 @dataclass(frozen=True)
@@ -70,6 +73,11 @@ class RunPreset:
     #: (``"reference" | "fast" | "auto"``); every engine is bit-identical,
     #: so this only trades wall time.
     engine: str = "auto"
+    #: Campaign-level fusion: share one trace replay across a sweep's
+    #: points (one-pass Mattson ladders, memoized L3 window solves,
+    #: batched ``solve_l3_sweep``).  Bit-identical to per-point runs —
+    #: see docs/PERFORMANCE.md — so disabling it only costs wall time.
+    fused: bool = True
     #: Per-preset composed-run memo; excluded from equality/hash/repr and
     #: rebuilt fresh by ``dataclasses.replace`` and unpickling, so caches
     #: never alias across campaigns or processes.
@@ -250,7 +258,12 @@ def composed_run(
         block_size=block_size,
     )
     run = ComposedHierarchy(
-        streams, profile.rates, config, threads=threads, engine=preset.engine
+        streams,
+        profile.rates,
+        config,
+        threads=threads,
+        engine=preset.engine,
+        fused=preset.fused,
     )
     cached_runs[key] = run
     return run

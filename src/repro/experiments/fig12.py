@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro._units import MiB, format_size
 from repro.core.l4cache import L4Cache, L4Config
-from repro.experiments.common import ExperimentResult, RunPreset
+from repro.experiments.common import ExperimentResult, RunPreset, composed_run
 
 EXPERIMENT_ID = "fig12"
 TITLE = "The proposed L4 design: physical accounting"
@@ -20,6 +20,7 @@ TITLE = "The proposed L4 design: physical accounting"
 
 def run(preset: RunPreset | None = None) -> ExperimentResult:
     """Physical design numbers for the swept L4 capacities."""
+    preset = preset or RunPreset.quick()
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     for paper_mib in (128, 256, 512, 1024, 2048):
         cache = L4Cache(L4Config(capacity=paper_mib * MiB))
@@ -49,5 +50,14 @@ def run(preset: RunPreset | None = None) -> ExperimentResult:
     result.note(
         "the direct-mapped choice costs ~1 point of hit rate (Figure 14's "
         "associative scenario) and buys the single-activation lookup."
+    )
+    # Demand the L4 actually sees: L3-miss MPKI at the headline 1 GiB point,
+    # from the campaign's shared composed run (memoized — when fig6/fig13
+    # already ran under the same preset this costs one dictionary lookup).
+    run_ = composed_run("s1-leaf", preset, platform="plt1")
+    cap1g = max(1, int(1024 * MiB * preset.scale))
+    result.note(
+        f"demand feeding this L4 at 1 GiB: {run_.l3_mpki(cap1g):.2f} "
+        "residual L3 MPKI in the composed S1-leaf run."
     )
     return result

@@ -5,6 +5,11 @@ must be byte-identical between ``engine="reference"`` and
 ``engine="fast"`` — rendered tables and the ``--metrics-out`` JSON
 document alike.  Same pattern as ``tests/experiments/test_parallel.py``:
 module-scoped runs, then byte-level diffs.
+
+The same contract covers campaign fusion: ``fused=True`` (one-pass
+Mattson ladders, batched window solves, memoized traces) must render the
+same bytes as ``fused=False`` per-point runs — fig12 joins here because
+its demand note reads the shared composed run.
 """
 
 import dataclasses
@@ -59,6 +64,46 @@ class TestEngineByteEquality:
         assert (tmp_path / "reference.json").read_bytes() == (
             tmp_path / "fast.json"
         ).read_bytes()
+
+
+_FUSED_IDS = ["fig6", "fig7", "fig12"]
+
+
+def _fused_report(fused):
+    preset = dataclasses.replace(RunPreset.quick(), fused=fused)
+    return run_report(preset, only=_FUSED_IDS, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def fused_report():
+    return _fused_report(True)
+
+
+@pytest.fixture(scope="module")
+def unfused_report():
+    return _fused_report(False)
+
+
+class TestFusedByteEquality:
+    def test_rendered_tables_identical(self, fused_report, unfused_report):
+        assert [r.experiment_id for r in fused_report.results] == _FUSED_IDS
+        for a, b in zip(fused_report.results, unfused_report.results):
+            assert a.render() == b.render()
+
+    def test_metrics_document_identical(
+        self, fused_report, unfused_report, tmp_path
+    ):
+        runner.write_metrics(fused_report.results, str(tmp_path / "fused.json"))
+        runner.write_metrics(
+            unfused_report.results, str(tmp_path / "unfused.json")
+        )
+        assert (tmp_path / "fused.json").read_bytes() == (
+            tmp_path / "unfused.json"
+        ).read_bytes()
+
+    def test_default_preset_is_fused(self):
+        assert RunPreset.quick().fused
+        assert RunPreset.standard().fused
 
 
 class TestEnginePlumbing:
