@@ -1,0 +1,33 @@
+"""Regenerate the adaptive way-partitioning experiment."""
+
+from repro.experiments import adaptive
+
+
+def test_adaptive_regeneration(run_once, preset, benchmark):
+    result = run_once(adaptive.run, preset)
+    rows = result.rows
+
+    # SHARDS at the production operating point stays within the 2%
+    # absolute miss-ratio budget on every trace family.
+    accuracy = [r for r in rows if r["series"] == "shards-accuracy"]
+    assert accuracy
+    worst = max(r["max_err_pct"] for r in accuracy)
+    assert worst <= 2.0
+
+    # One epoch after every phase change the controller is already at
+    # least as good as the best static split of that epoch (well inside
+    # the 3-epoch convergence budget).
+    control = [r for r in rows if r["series"] == "adaptive-control"]
+    for row in control:
+        if row["phase_offset"] >= 1:
+            assert row["measured_hit_rate"] >= row["best_fixed_hit_rate"] - 0.002
+
+    # Over the whole phase-changing run the adaptive policy beats the
+    # best fixed split (and, a fortiori, the even split).
+    (summary,) = [r for r in rows if r["series"] == "adaptive-summary"]
+    assert summary["adaptive_hit_rate"] > summary["best_fixed_hit_rate"]
+    assert summary["best_fixed_hit_rate"] > summary["even_hit_rate"]
+
+    benchmark.extra_info["worst_shards_err_pct"] = worst
+    benchmark.extra_info["adaptive_hit_rate"] = summary["adaptive_hit_rate"]
+    benchmark.extra_info["best_fixed_hit_rate"] = summary["best_fixed_hit_rate"]

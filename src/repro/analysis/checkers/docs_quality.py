@@ -45,6 +45,8 @@ DOCS_SCOPE = (
     "repro.cachesim.fused",
     "repro.cachesim.mattson",
     "repro.cachesim.setsample",
+    "repro.cachesim.shards",
+    "repro.search.cachectl",
 )
 
 #: Parameter suffixes that denote a physical unit (durations and sizes).

@@ -37,6 +37,9 @@ class SampledEstimate:
     total_sets: int
     sampled_accesses: int
     sampled_hits: int
+    #: Extra set draws needed before any access landed in the sample
+    #: (0 when the first draw succeeded).
+    redraws: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -59,6 +62,7 @@ def sampled_hit_rate(
     replacement: str = "lru",
     engine: str = "reference",
     jobs: int = 1,
+    max_redraws: int = 8,
 ) -> SampledEstimate:
     """Estimate a cache's hit rate by simulating a sample of its sets.
 
@@ -70,6 +74,15 @@ def sampled_hit_rate(
     additionally shards the fast replay across a spawn-based worker pool by
     set index (sets are independent, so the counts stay bit-identical; see
     :func:`repro.cachesim.fused.sharded_lru_hits_for_sets`).
+
+    A sparse trace can miss every sampled set (small ``sample_fraction``
+    against a stream concentrated in a few sets), which would leave the
+    estimate undefined.  Rather than handing the caller an empty estimate
+    whose ``hit_rate`` raises, the draw is retried deterministically with
+    an incremented seed (``seed + 1``, ``seed + 2``, ... up to
+    ``max_redraws`` extra draws) until some access lands in the sample;
+    only when every draw comes up empty does a :class:`TraceError`
+    surface.  Online estimators that resample every epoch rely on this.
     """
     from repro.cachesim import fastsim
 
@@ -80,18 +93,30 @@ def sampled_hit_rate(
         )
     if len(lines) == 0:
         raise TraceError("cannot sample an empty stream")
+    if max_redraws < 0:
+        raise ConfigurationError(
+            f"max_redraws must be >= 0, got {max_redraws}"
+        )
     num_sets = geometry.num_sets
     # Round half-up, not truncate: int() turned 48 sets * 1/3 into 15
     # sampled sets (and fractions just shy of 1.0 into a partial cache).
     sampled_sets = min(num_sets, max(1, math.floor(num_sets * sample_fraction + 0.5)))
-    rng = np.random.default_rng(seed)
-    chosen = rng.choice(num_sets, size=sampled_sets, replace=False)
-    chosen_mask = np.zeros(num_sets, bool)
-    chosen_mask[chosen] = True
-
     lines = np.asarray(lines, np.int64)
     set_of = set_indices(lines, num_sets)
-    keep = chosen_mask[set_of]
+    for attempt in range(max_redraws + 1):
+        rng = np.random.default_rng(seed + attempt)
+        chosen = rng.choice(num_sets, size=sampled_sets, replace=False)
+        chosen_mask = np.zeros(num_sets, bool)
+        chosen_mask[chosen] = True
+        keep = chosen_mask[set_of]
+        if keep.any():
+            break
+    else:
+        raise TraceError(
+            f"no accesses fell into the sampled sets after "
+            f"{max_redraws + 1} deterministic draws (seeds "
+            f"{seed}..{seed + max_redraws}); raise sample_fraction"
+        )
     sampled_lines = lines[keep]
 
     # Re-index the sampled sets densely so the mini-cache has exactly
@@ -121,6 +146,7 @@ def sampled_hit_rate(
         total_sets=num_sets,
         sampled_accesses=len(sampled_lines),
         sampled_hits=hits,
+        redraws=attempt,
     )
 
 

@@ -15,6 +15,7 @@ from types import ModuleType
 
 from repro.experiments import (
     ablations,
+    adaptive,
     discussion,
     fig2,
     fig3,
@@ -58,6 +59,7 @@ ALL_MODULES = (
     power,
     slo,
     hurryup,
+    adaptive,
     discussion,
     ablations,
 )

@@ -659,6 +659,21 @@ class MetricsSnapshot:
                     merged["overflow_count"] = payload[
                         "overflow_count"
                     ] - before.get("overflow_count", 0)
+                    # overflow_max is a running maximum — not subtractable.
+                    # An interval with no new overflow samples must not
+                    # inherit the cumulative bound (it could predate the
+                    # interval, or be -inf); drop it so quantiles never
+                    # report a stale tail.  When the interval did overflow,
+                    # the cumulative maximum is the tightest valid upper
+                    # bound available for the interval's overflow tail.
+                    if merged["overflow_count"] <= 0:
+                        merged.pop("overflow_max", None)
+                # min/max are running extremes with the same staleness
+                # problem; keep them only while they are still bounds on
+                # the interval (i.e. the interval saw observations).
+                if merged["count"] <= 0:
+                    merged.pop("min", None)
+                    merged.pop("max", None)
                 out[name] = merged
             else:  # gauges: current value is the statement
                 out[name] = payload

@@ -1,0 +1,334 @@
+"""Adaptive shared-L3 way partitioning from online miss-curve estimates.
+
+The paper finds the best L3-vs-cores (and, implicitly, tenant-vs-tenant)
+split *offline* by sweeping full Mattson curves; a production tier has to
+learn it live.  This module is the actuation side of that loop: an
+epoch-based controller reads each co-running leaf workload's SHARDS
+miss-ratio curve (:class:`repro.search.simmem.LeafCacheMonitor`) and
+re-partitions the shared cache's ways — CAT semantics, each workload
+confined to its own ways of every set — to maximize the *predicted*
+cluster hit rate for the next epoch.
+
+Two production guardrails temper the optimizer:
+
+* **hysteresis** — the predicted gain over the current allocation must
+  clear a threshold before ways actually move, so estimator noise does
+  not thrash the partition; and
+* **instability fallback** — when any workload's estimate is unhealthy
+  (no traffic, too few sampled reuses, or epoch-over-epoch curve drift
+  past a bound, i.e. mid phase change), the controller retreats to the
+  static even split rather than optimizing against garbage.
+
+Decisions are pure functions of the supplied estimates, and every epoch
+is published to the ``repro.search.cachectl.*`` metric family.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.search.simmem import EpochEstimate
+
+__all__ = [
+    "CacheControlConfig",
+    "PartitionDecision",
+    "WayPartitionController",
+    "static_split",
+]
+
+
+def static_split(total_ways: int, num_workloads: int) -> tuple[int, ...]:
+    """The even way split (remainder to the lowest-indexed workloads).
+
+    Deterministic and independent of any estimate — both the controller's
+    fallback and the natural baseline an adaptive policy must beat.
+    """
+    if num_workloads < 1:
+        raise ConfigurationError(
+            f"need at least one workload, got {num_workloads}"
+        )
+    if total_ways < num_workloads:
+        raise ConfigurationError(
+            f"{total_ways} ways cannot cover {num_workloads} workloads"
+        )
+    base, extra = divmod(total_ways, num_workloads)
+    return tuple(
+        base + (1 if index < extra else 0) for index in range(num_workloads)
+    )
+
+
+@dataclass(frozen=True)
+class CacheControlConfig:
+    """Tuning knobs of the way-partitioning controller.
+
+    Units: ``way_lines`` is the capacity of one cache way in 64-byte
+    lines (``num_sets`` for a set-associative L3); ``hysteresis`` and
+    ``max_drift`` are absolute hit-/miss-ratio fractions.
+    """
+
+    total_ways: int
+    way_lines: int
+    min_ways: int = 1
+    hysteresis: float = 0.005
+    max_drift: float = 0.25
+    min_sampled_reuses: int = 32
+
+    def __post_init__(self) -> None:
+        """Validate every knob; see the class docstring for units."""
+        if self.total_ways < 1:
+            raise ConfigurationError(
+                f"total_ways must be >= 1, got {self.total_ways}"
+            )
+        if self.way_lines < 1:
+            raise ConfigurationError(
+                f"way_lines must be >= 1, got {self.way_lines}"
+            )
+        if self.min_ways < 1:
+            raise ConfigurationError(
+                f"min_ways must be >= 1, got {self.min_ways}"
+            )
+        if self.hysteresis < 0:
+            raise ConfigurationError(
+                f"hysteresis must be >= 0, got {self.hysteresis}"
+            )
+        if self.max_drift <= 0:
+            raise ConfigurationError(
+                f"max_drift must be positive, got {self.max_drift}"
+            )
+        if self.min_sampled_reuses < 0:
+            raise ConfigurationError(
+                f"min_sampled_reuses must be >= 0, got "
+                f"{self.min_sampled_reuses}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionDecision:
+    """One epoch's controller output.
+
+    ``predicted_hit_rate`` is the access-weighted cluster hit rate the
+    estimates assign to ``allocation`` (``None`` on fallback — there is
+    no trusted prediction).  ``moved`` reports whether the allocation
+    differs from the previous epoch's.
+    """
+
+    epoch: int
+    allocation: tuple[int, ...]
+    predicted_hit_rate: float | None
+    moved: bool
+    fallback: bool
+    reason: str
+
+
+class WayPartitionController:
+    """Epoch-based greedy way partitioner over per-workload miss curves.
+
+    With two workloads the per-epoch optimization is solved exactly (the
+    split space is one-dimensional); with more it falls back to greedy
+    marginal-utility assignment (the UCP lookahead-1 heuristic), which
+    can stop in a local optimum on non-concave curves — acceptable for a
+    controller that re-decides every epoch.
+    """
+
+    def __init__(
+        self,
+        config: CacheControlConfig,
+        num_workloads: int,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        """Start at the static even split; see the class docstring."""
+        if num_workloads < 2:
+            raise ConfigurationError(
+                "way partitioning needs at least two co-running workloads"
+            )
+        if config.total_ways < num_workloads * config.min_ways:
+            raise ConfigurationError(
+                f"{config.total_ways} ways cannot give {num_workloads} "
+                f"workloads {config.min_ways} ways each"
+            )
+        self.config = config
+        self.num_workloads = num_workloads
+        self.static_allocation = static_split(config.total_ways, num_workloads)
+        self._allocation = self.static_allocation
+        self._epoch = 0
+        registry = metrics if metrics is not None else MetricsRegistry()
+        family = "repro.search.cachectl"
+        self._m_epochs = registry.counter(
+            f"{family}.epochs", help="Control epochs decided.", unit="epochs"
+        )
+        self._m_repartitions = registry.counter(
+            f"{family}.repartitions",
+            help="Epochs whose decision moved at least one way.",
+            unit="epochs",
+        )
+        self._m_fallbacks = registry.counter(
+            f"{family}.fallbacks",
+            help="Epochs that retreated to the static split.",
+            unit="epochs",
+        )
+        self._m_predicted = registry.gauge(
+            f"{family}.predicted_hit_rate",
+            help="Predicted cluster hit rate of the chosen allocation.",
+            unit="fraction",
+        )
+        self._m_ways = registry.gauge(
+            f"{family}.ways",
+            help="Ways allocated per workload (label `workload`).",
+            unit="ways",
+        )
+
+    @property
+    def allocation(self) -> tuple[int, ...]:
+        """Ways each workload holds for the upcoming epoch."""
+        return self._allocation
+
+    # ------------------------------------------------------------------
+
+    def _unstable_reason(self, estimate: EpochEstimate | None) -> str | None:
+        """Why this estimate cannot be trusted (None when healthy)."""
+        if estimate is None or estimate.curve is None:
+            return "no curve"
+        if estimate.sampled_reuses < self.config.min_sampled_reuses:
+            return (
+                f"{estimate.sampled_reuses} sampled reuses < "
+                f"{self.config.min_sampled_reuses}"
+            )
+        if (
+            math.isfinite(estimate.drift)
+            and estimate.drift > self.config.max_drift
+        ):
+            return f"drift {estimate.drift:.3f} > {self.config.max_drift}"
+        return None
+
+    def _predicted_hits(self, estimates: list[EpochEstimate]) -> np.ndarray:
+        """``hits[i, w]``: predicted absolute hits of workload ``i`` under
+        ``w + min_ways`` ways (access-weighted, so workloads vote with
+        their traffic)."""
+        config = self.config
+        ways_axis = np.arange(
+            config.min_ways, config.total_ways + 1, dtype=np.int64
+        )
+        capacities = ways_axis * config.way_lines
+        hits = np.empty((len(estimates), len(ways_axis)))
+        for index, estimate in enumerate(estimates):
+            assert estimate.curve is not None  # guarded by caller
+            hits[index] = estimate.accesses * estimate.curve.hit_rates(
+                capacities
+            )
+        return hits
+
+    def _best_allocation(self, hits: np.ndarray) -> tuple[int, ...]:
+        config = self.config
+        spare = config.total_ways - self.num_workloads * config.min_ways
+        if self.num_workloads == 2:
+            best_split, best_value = None, -math.inf
+            for extra in range(spare + 1):
+                value = hits[0, extra] + hits[1, spare - extra]
+                if value > best_value:
+                    best_split, best_value = extra, value
+            return (
+                config.min_ways + best_split,
+                config.min_ways + spare - best_split,
+            )
+        held = [0] * self.num_workloads  # extra ways beyond min_ways
+        for _ in range(spare):
+            gains = [
+                hits[i, held[i] + 1] - hits[i, held[i]]
+                for i in range(self.num_workloads)
+            ]
+            held[int(np.argmax(gains))] += 1  # ties: lowest index wins
+        return tuple(config.min_ways + extra for extra in held)
+
+    def _cluster_hit_rate(
+        self, hits: np.ndarray, allocation: tuple[int, ...], total: float
+    ) -> float:
+        config = self.config
+        value = sum(
+            hits[i, ways - config.min_ways]
+            for i, ways in enumerate(allocation)
+        )
+        return value / total if total > 0 else 0.0
+
+    def update(self, estimates: list[EpochEstimate]) -> PartitionDecision:
+        """Decide the next epoch's allocation from this epoch's estimates."""
+        if len(estimates) != self.num_workloads:
+            raise ConfigurationError(
+                f"expected {self.num_workloads} estimates, "
+                f"got {len(estimates)}"
+            )
+        reasons = [self._unstable_reason(estimate) for estimate in estimates]
+        if any(reason is not None for reason in reasons):
+            detail = "; ".join(
+                f"workload {index}: {reason}"
+                for index, reason in enumerate(reasons)
+                if reason is not None
+            )
+            decision = self._decide(
+                self.static_allocation,
+                predicted=None,
+                fallback=True,
+                reason=f"unstable estimates ({detail})",
+            )
+        else:
+            hits = self._predicted_hits(estimates)
+            total = float(sum(e.accesses for e in estimates))
+            candidate = self._best_allocation(hits)
+            candidate_rate = self._cluster_hit_rate(hits, candidate, total)
+            current_rate = self._cluster_hit_rate(
+                hits, self._allocation, total
+            )
+            if (
+                candidate != self._allocation
+                and candidate_rate - current_rate <= self.config.hysteresis
+            ):
+                decision = self._decide(
+                    self._allocation,
+                    predicted=current_rate,
+                    fallback=False,
+                    reason=(
+                        f"held: predicted gain "
+                        f"{candidate_rate - current_rate:.4f} within "
+                        f"hysteresis {self.config.hysteresis}"
+                    ),
+                )
+            else:
+                decision = self._decide(
+                    candidate,
+                    predicted=candidate_rate,
+                    fallback=False,
+                    reason=f"optimized (predicted {candidate_rate:.4f})",
+                )
+        return decision
+
+    def _decide(
+        self,
+        allocation: tuple[int, ...],
+        predicted: float | None,
+        fallback: bool,
+        reason: str,
+    ) -> PartitionDecision:
+        moved = allocation != self._allocation
+        self._allocation = allocation
+        decision = PartitionDecision(
+            epoch=self._epoch,
+            allocation=allocation,
+            predicted_hit_rate=predicted,
+            moved=moved,
+            fallback=fallback,
+            reason=reason,
+        )
+        self._m_epochs.inc()
+        if moved:
+            self._m_repartitions.inc()
+        if fallback:
+            self._m_fallbacks.inc()
+        self._m_predicted.set(predicted if predicted is not None else 0.0)
+        for index, ways in enumerate(allocation):
+            self._m_ways.labels(workload=str(index)).set(ways)
+        self._epoch += 1
+        return decision

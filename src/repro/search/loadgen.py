@@ -141,23 +141,50 @@ class LoadReport:
 
         Under overload this plateaus at the system's capacity while
         :attr:`offered_qps` keeps climbing — the saturation signature.
+        Deep past saturation it legitimately reaches 0.0 (admission shed
+        everything); check :attr:`starved` to tell that apart from a run
+        that has not started.
         """
         if self.duration_ms <= 0:
             return 0.0
         return (self.complete + self.degraded) / (self.duration_ms / 1000.0)
 
+    @property
+    def starved(self) -> bool:
+        """True when queries arrived but none produced results.
+
+        The deep-saturation outcome: admission control shed (or every
+        leaf failed) every single query, so there are no served pages
+        and no latency samples.  A starved run is a legitimate sweep
+        point — ``served_qps`` is 0.0 and ``mean_ms`` reports 0.0 —
+        not a crash; only the latency *quantiles* stay undefined.
+        """
+        return self.arrivals > 0 and self.complete + self.degraded == 0
+
     def mean_ms(self) -> float:
-        """Mean measured query latency."""
+        """Mean measured query latency (0.0 when no query finished).
+
+        Returning 0.0 rather than raising keeps overload sweeps alive at
+        their deepest points, where admission sheds everything and there
+        are no samples to average (see :attr:`starved`).
+        """
         if not self.latencies_ms:
-            raise ConfigurationError("no pages observed yet")
+            return 0.0
         return float(np.mean(self.latencies_ms))
 
     def quantile_ms(self, p: float) -> float:
-        """Exact empirical p-quantile of measured query latency."""
+        """Exact empirical p-quantile of measured query latency.
+
+        Unlike ``mean_ms`` this keeps the typed error when nothing was
+        measured: a fabricated tail quantile is worse than no number.
+        """
         if not 0 < p < 1:
             raise ConfigurationError(f"p must be in (0, 1), got {p}")
         if not self.latencies_ms:
-            raise ConfigurationError("no pages observed yet")
+            raise ConfigurationError(
+                "no latencies measured (starved run?); quantiles are "
+                "undefined without samples"
+            )
         ordered = sorted(self.latencies_ms)
         index = min(len(ordered) - 1, math.ceil(p * len(ordered)) - 1)
         return ordered[index]
@@ -180,7 +207,7 @@ class LoadReport:
             f"p50 {self.p50_ms():.2f} ms, p99 {self.p99_ms():.2f} ms, "
             f"p999 {self.p999_ms():.2f} ms"
             if self.latencies_ms
-            else "no latencies"
+            else ("STARVED: no latencies" if self.starved else "no latencies")
         )
         return (
             f"{self.arrivals} arrivals at {self.offered_qps:.0f} qps -> "

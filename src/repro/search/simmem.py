@@ -6,12 +6,23 @@ by construction: index and runtime structures are *placed* in a simulated
 address space by :class:`SimulatedMemory`, and the serving code records the
 byte ranges it touches through a :class:`TraceRecorder`, which assembles the
 numpy-backed :class:`~repro.memtrace.trace.Trace`.
+
+:class:`LeafCacheMonitor` closes the observation side of the adaptive
+control loop: it drains a recorder epoch by epoch into a streaming SHARDS
+ensemble (:mod:`repro.cachesim.shards`) so each leaf carries a live
+miss-ratio-curve estimate — the online counterpart of the paper's offline
+Pin-trace sweeps — which :mod:`repro.search.cachectl` turns into way
+partitions.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.cachesim.shards import ShardsCurve, ShardsEnsemble, curve_drift
 from repro.errors import ConfigurationError, SimulationError
 from repro.memtrace.address_space import AddressSpace
 from repro.memtrace.trace import AccessKind, Segment, Trace
@@ -184,3 +195,191 @@ class TraceRecorder:
         self._kind.clear()
         self._segment.clear()
         self._instructions = 0
+
+
+@dataclass(frozen=True)
+class EpochEstimate:
+    """One epoch's miss-curve estimate and estimator-health readings.
+
+    ``curve`` is ``None`` when the epoch saw no accesses; ``drift`` is the
+    maximum absolute miss-ratio change against the previous epoch's curve
+    (``inf`` until two consecutive epochs have curves) — the controller's
+    instability signal.
+    """
+
+    epoch: int
+    accesses: int
+    sampled_accesses: int
+    sampled_reuses: int
+    reservoir_lines: int
+    reservoir_evictions: int
+    rate: float
+    drift: float
+    curve: ShardsCurve | None
+
+    @property
+    def stable(self) -> bool:
+        """Whether the estimate exists at all (guardrails tighten this)."""
+        return self.curve is not None
+
+
+class LeafCacheMonitor:
+    """Online per-leaf miss-ratio-curve estimation over serving epochs.
+
+    Wraps one leaf's :class:`TraceRecorder`.  Each control epoch the
+    monitor drains the recorder's buffered cache-line accesses into a
+    fresh :class:`~repro.cachesim.shards.ShardsEnsemble` (per-epoch
+    curves track phase changes; a cumulative estimator would blur them),
+    then closes the epoch with :meth:`end_epoch`, which returns an
+    :class:`EpochEstimate` and publishes estimator health to the
+    ``repro.cachesim.shards.*`` metric family (label ``leaf``).
+
+    Units: ``drift_capacities_lines`` are fully-associative capacities in
+    cache lines — the ladder drift is measured over; pick the way ladder
+    the controller allocates on.
+    """
+
+    def __init__(
+        self,
+        recorder: TraceRecorder,
+        drift_capacities_lines: np.ndarray | list[int],
+        rate: float = 0.05,
+        replicas: int = 4,
+        max_reservoir: int | None = 4096,
+        seed: int = 0,
+        metrics: MetricsRegistry | None = None,
+        leaf: str = "0",
+    ) -> None:
+        capacities = np.asarray(drift_capacities_lines, np.int64)
+        if len(capacities) == 0 or (capacities <= 0).any():
+            raise ConfigurationError(
+                "drift_capacities_lines must be non-empty and positive"
+            )
+        self._recorder = recorder
+        self._capacities = capacities
+        self._rate = rate
+        self._replicas = replicas
+        self._max_reservoir = max_reservoir
+        self._seed = seed
+        self._epoch = 0
+        self._epoch_accesses = 0
+        self._ensemble = self._fresh_ensemble()
+        self._previous_curve: ShardsCurve | None = None
+        self.last_estimate: EpochEstimate | None = None
+        registry = metrics if metrics is not None else MetricsRegistry()
+        labels = {"leaf": leaf}
+        family = "repro.cachesim.shards"
+        self._m_accesses = registry.counter(
+            f"{family}.accesses",
+            help="Cache-line accesses fed to the SHARDS estimator.",
+            unit="accesses",
+        ).labels(**labels)
+        self._m_sampled = registry.counter(
+            f"{family}.sampled",
+            help="Accesses admitted by SHARDS spatial sampling.",
+            unit="accesses",
+        ).labels(**labels)
+        self._m_evictions = registry.counter(
+            f"{family}.evictions",
+            help="Reservoir evictions (rate adaptation events).",
+            unit="lines",
+        ).labels(**labels)
+        self._m_epochs = registry.counter(
+            f"{family}.epochs",
+            help="Estimation epochs closed.",
+            unit="epochs",
+        ).labels(**labels)
+        self._m_rate = registry.gauge(
+            f"{family}.rate",
+            help="Effective SHARDS sampling rate after adaptation.",
+            unit="fraction",
+        ).labels(**labels)
+        self._m_reservoir = registry.gauge(
+            f"{family}.reservoir_lines",
+            help="Lines currently tracked across ensemble reservoirs.",
+            unit="lines",
+        ).labels(**labels)
+        self._m_drift = registry.gauge(
+            f"{family}.drift",
+            help="Max |miss-ratio| change vs the previous epoch's curve.",
+            unit="fraction",
+        ).labels(**labels)
+
+    def _fresh_ensemble(self) -> ShardsEnsemble:
+        return ShardsEnsemble(
+            rate=self._rate,
+            replicas=self._replicas,
+            max_reservoir=self._max_reservoir,
+            seed=self._seed,
+        )
+
+    @property
+    def epoch(self) -> int:
+        """Index of the epoch currently being observed."""
+        return self._epoch
+
+    def observe(self, lines: np.ndarray) -> int:
+        """Feed raw cache-line ids into the current epoch's estimator."""
+        lines = np.asarray(lines, np.int64)
+        self._ensemble.feed(lines)
+        self._epoch_accesses += len(lines)
+        self._m_accesses.inc(len(lines))
+        return len(lines)
+
+    def drain(self) -> int:
+        """Drain the recorder's buffered accesses into the estimator.
+
+        Returns the number of accesses consumed; the recorder is reset,
+        so interleave drains with any trace export the caller needs.
+        """
+        trace = self._recorder.to_trace()
+        if len(trace.addr) == 0:
+            return 0
+        self._recorder.reset()
+        return self.observe((trace.addr // _LINE_BYTES).astype(np.int64))
+
+    def end_epoch(self) -> EpochEstimate:
+        """Close the epoch: snapshot the curve, measure drift, reset.
+
+        An epoch with zero accesses yields ``curve=None`` (and leaves the
+        previous curve as the drift baseline) rather than raising — idle
+        leaves are a fact of phase-changing load.
+        """
+        ensemble = self._ensemble
+        sampled_before_eviction = ensemble.sampled_accesses
+        if self._epoch_accesses > 0:
+            curve = ensemble.curve()
+            drift = (
+                curve_drift(self._previous_curve, curve, self._capacities)
+                if self._previous_curve is not None
+                else math.inf
+            )
+            sampled_reuses = curve.sampled_reuses
+        else:
+            curve = None
+            drift = math.inf
+            sampled_reuses = 0
+        estimate = EpochEstimate(
+            epoch=self._epoch,
+            accesses=self._epoch_accesses,
+            sampled_accesses=sampled_before_eviction,
+            sampled_reuses=sampled_reuses,
+            reservoir_lines=ensemble.reservoir_lines,
+            reservoir_evictions=ensemble.reservoir_evictions,
+            rate=ensemble.rate,
+            drift=drift,
+            curve=curve,
+        )
+        self._m_sampled.inc(sampled_before_eviction)
+        self._m_evictions.inc(ensemble.reservoir_evictions)
+        self._m_epochs.inc()
+        self._m_rate.set(ensemble.rate)
+        self._m_reservoir.set(ensemble.reservoir_lines)
+        self._m_drift.set(0.0 if math.isinf(drift) else drift)
+        if curve is not None:
+            self._previous_curve = curve
+        self.last_estimate = estimate
+        self._epoch = self._epoch + 1
+        self._epoch_accesses = 0
+        self._ensemble = self._fresh_ensemble()
+        return estimate

@@ -5,7 +5,7 @@ import pytest
 
 from repro._units import KiB
 from repro.cachesim.cache import CacheGeometry, SetAssociativeCache
-from repro.cachesim.setsample import sampled_hit_rate
+from repro.cachesim.setsample import SampledEstimate, sampled_hit_rate
 from repro.errors import ConfigurationError, TraceError
 
 
@@ -151,19 +151,43 @@ class TestSampledBranches:
             estimate.hit_rate
 
     def test_sample_can_catch_no_accesses(self):
-        """A sample whose sets see no traffic still reports metadata."""
+        """Idle-set draws are retried; a hand-built empty estimate raises."""
         geometry = CacheGeometry(8 * KiB, 4)  # 32 sets
         lines = np.zeros(50, np.int64)  # all traffic in set 0
+        # Direct construction still reports the undefined estimate loudly.
+        with pytest.raises(TraceError):
+            SampledEstimate(1, 32, 0, 0).hit_rate
+        # With redraws disabled, some seed draws only the idle sets and
+        # the empty sample surfaces as a TraceError from the draw itself.
         for seed in range(20):
-            estimate = sampled_hit_rate(
-                lines, geometry, sample_fraction=1 / 32, seed=seed
-            )
-            if estimate.sampled_accesses == 0:
-                with pytest.raises(TraceError):
-                    estimate.hit_rate
+            try:
+                estimate = sampled_hit_rate(
+                    lines,
+                    geometry,
+                    sample_fraction=1 / 32,
+                    seed=seed,
+                    max_redraws=0,
+                )
+            except TraceError:
                 break
+            assert estimate.sampled_accesses > 0
         else:
             pytest.fail("no seed sampled an idle set")
+        # The deterministic redraw rescues that same seed: incremented
+        # seeds eventually draw the busy set, and the estimate is exact.
+        rescued = sampled_hit_rate(
+            lines, geometry, sample_fraction=1 / 32, seed=seed, max_redraws=200
+        )
+        assert rescued.sampled_accesses == 50
+        assert rescued.redraws > 0
+        assert rescued.hit_rate == pytest.approx(49 / 50)
+
+    def test_redraw_validation(self):
+        geometry = CacheGeometry(8 * KiB, 4)
+        with pytest.raises(ConfigurationError):
+            sampled_hit_rate(
+                np.zeros(5, np.int64), geometry, max_redraws=-1
+            )
 
     def test_fifo_sampling_full_matches_exact(self):
         lines = zipf_lines(5000, pool=600)

@@ -6,6 +6,7 @@ import pytest
 from repro._units import MiB
 from repro.experiments import RunPreset
 from repro.experiments import (
+    adaptive,
     discussion,
     fig12,
     fig2,
@@ -355,3 +356,41 @@ class TestHurryup:
             assert pool[(qps, "hurryup")]["miss_rate"] < pool[(qps, "fifo")]["miss_rate"]
             assert pool[(qps, "hurryup")]["migrations"] > 0
             assert pool[(qps, "fifo")]["migrations"] == 0
+
+
+class TestAdaptive:
+    def test_estimator_accuracy_and_control_convergence(self, preset):
+        result = adaptive.run(preset)
+        by_series = {}
+        for row in result.rows:
+            by_series.setdefault(row["series"], []).append(row)
+
+        # SHARDS @ R=0.01 (hash-replicated ensemble) within the 2%
+        # absolute miss-ratio budget against exact Mattson on every
+        # trace family.
+        accuracy = by_series["shards-accuracy"]
+        assert {r["x"] for r in accuracy} == {"heap", "shard", "mix"}
+        for row in accuracy:
+            assert row["max_err_pct"] <= 2.0
+            # Spatial sampling actually happened: ~R per replica.
+            assert row["sampled"] < 0.5 * row["accesses"]
+
+        # The controller converges within the 3-epoch budget: from the
+        # first epoch after each phase change it already matches or
+        # beats the best static split of that epoch.
+        control = by_series["adaptive-control"]
+        assert len(control) == 12
+        for row in control:
+            if row["phase_offset"] >= 1:
+                assert (
+                    row["measured_hit_rate"]
+                    >= row["best_fixed_hit_rate"] - 0.002
+                )
+            # Sanity on every epoch: the oracle bounds the measurement.
+            assert row["measured_hit_rate"] <= row["oracle_hit_rate"] + 1e-9
+
+        # Over the whole run, adapting beats any fixed split — the
+        # point of closing the loop.
+        (summary,) = by_series["adaptive-summary"]
+        assert summary["adaptive_hit_rate"] > summary["best_fixed_hit_rate"]
+        assert summary["best_fixed_hit_rate"] > summary["even_hit_rate"]

@@ -14,6 +14,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     MetricsSnapshot,
+    histogram_quantile,
     log_spaced_bounds,
 )
 
@@ -272,6 +273,61 @@ class TestMetricsSnapshot:
         delta = registry.snapshot().delta(before)
         children = delta.payload("repro.test.c")["children"]
         assert children == {"{shard=0}": 3, "{shard=1}": 1}
+
+    def test_delta_drops_stale_overflow_bound(self):
+        """A running max is not subtractable: an interval with no new
+        overflow samples must not inherit the cumulative overflow_max."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro.test.h", bounds=(1.0, 10.0))
+        hist.observe(500.0)  # overflows during the *first* interval
+        before = registry.snapshot()
+        hist.observe(2.0)  # second interval: in-range only
+        delta = registry.snapshot().delta(before)
+        payload = delta.payload("repro.test.h")
+        assert payload["count"] == 1
+        assert payload["overflow_count"] == 0
+        assert "overflow_max" not in payload  # stale 500.0 must not leak
+        assert histogram_quantile(payload, 0.99) == 10.0
+
+    def test_delta_keeps_overflow_bound_when_interval_overflows(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro.test.h", bounds=(1.0, 10.0))
+        hist.observe(500.0)
+        before = registry.snapshot()
+        hist.observe(700.0)
+        payload = registry.snapshot().delta(before).payload("repro.test.h")
+        assert payload["overflow_count"] == 1
+        assert payload["overflow_max"] == 700.0
+        assert histogram_quantile(payload, 0.99) == 700.0
+
+    def test_delta_of_idle_interval_drops_extremes(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro.test.h", bounds=(1.0, 10.0))
+        hist.observe(5.0)
+        before = registry.snapshot()
+        payload = registry.snapshot().delta(before).payload("repro.test.h")
+        assert payload["count"] == 0
+        assert "min" not in payload and "max" not in payload
+        with pytest.raises(ConfigurationError):
+            histogram_quantile(payload, 0.5)
+
+    def test_merge_of_overflow_only_histograms(self):
+        """Every sample above the last bound: merge must carry the exact
+        overflow maximum and quantiles must report it."""
+
+        def overflowed(value):
+            registry = MetricsRegistry()
+            registry.histogram("repro.test.h", bounds=(1.0, 10.0)).observe(
+                value
+            )
+            return registry.snapshot()
+
+        merged = overflowed(50.0).merge(overflowed(80.0))
+        payload = merged.payload("repro.test.h")
+        assert payload["count"] == 2 and payload["overflow_count"] == 2
+        assert payload["overflow_max"] == 80.0
+        assert histogram_quantile(payload, 0.5) == 80.0
+        assert payload["min"] == 50.0 and payload["max"] == 80.0
 
     def test_merge_adds_counters_and_histograms(self):
         a, b = self._registry().snapshot(), self._registry().snapshot()

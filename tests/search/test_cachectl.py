@@ -1,0 +1,319 @@
+"""Tests for the adaptive way-partitioning control loop.
+
+Covers both sides: :class:`repro.search.simmem.LeafCacheMonitor`
+(observation — per-epoch SHARDS estimates off a leaf's trace recorder)
+and :class:`repro.search.cachectl.WayPartitionController` (actuation —
+way splits with hysteresis and instability fallback).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cachesim.shards import ShardsEstimator
+from repro.errors import ConfigurationError
+from repro.memtrace.trace import AccessKind, Segment
+from repro.obs.metrics import MetricsRegistry
+from repro.search.cachectl import (
+    CacheControlConfig,
+    WayPartitionController,
+    static_split,
+)
+from repro.search.simmem import EpochEstimate, LeafCacheMonitor, TraceRecorder
+
+_WAY_LINES = 256
+
+
+def loop_estimate(num_lines, accesses=50_000, epoch=0, drift=0.0):
+    """An exact (rate=1) estimate of a cyclic loop over ``num_lines``.
+
+    Under LRU a cyclic loop hits only once capacity covers the whole
+    loop, so the miss curve is a step at ``num_lines`` — handy for
+    predicting what the optimizer must do.
+    """
+    lines = np.tile(np.arange(num_lines, dtype=np.int64), accesses // num_lines)
+    estimator = ShardsEstimator(rate=1.0, seed=0)
+    estimator.feed(lines)
+    curve = estimator.curve()
+    return EpochEstimate(
+        epoch=epoch,
+        accesses=len(lines),
+        sampled_accesses=len(lines),
+        sampled_reuses=curve.sampled_reuses,
+        reservoir_lines=estimator.reservoir_lines,
+        reservoir_evictions=0,
+        rate=1.0,
+        drift=drift,
+        curve=curve,
+    )
+
+
+def unstable_estimate(epoch=0, **overrides):
+    fields = dict(
+        epoch=epoch,
+        accesses=0,
+        sampled_accesses=0,
+        sampled_reuses=0,
+        reservoir_lines=0,
+        reservoir_evictions=0,
+        rate=0.05,
+        drift=math.inf,
+        curve=None,
+    )
+    fields.update(overrides)
+    return EpochEstimate(**fields)
+
+
+class TestStaticSplit:
+    def test_even_and_remainder(self):
+        assert static_split(8, 2) == (4, 4)
+        assert static_split(10, 3) == (4, 3, 3)
+        assert static_split(3, 3) == (1, 1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            static_split(8, 0)
+        with pytest.raises(ConfigurationError):
+            static_split(2, 3)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"total_ways": 0},
+            {"way_lines": 0},
+            {"min_ways": 0},
+            {"hysteresis": -0.1},
+            {"max_drift": 0.0},
+            {"min_sampled_reuses": -1},
+        ],
+    )
+    def test_bad_field_raises(self, overrides):
+        fields = dict(total_ways=8, way_lines=_WAY_LINES)
+        fields.update(overrides)
+        with pytest.raises(ConfigurationError):
+            CacheControlConfig(**fields)
+
+    def test_controller_needs_two_workloads_and_enough_ways(self):
+        config = CacheControlConfig(total_ways=8, way_lines=_WAY_LINES)
+        with pytest.raises(ConfigurationError):
+            WayPartitionController(config, num_workloads=1)
+        tight = CacheControlConfig(
+            total_ways=4, way_lines=_WAY_LINES, min_ways=3
+        )
+        with pytest.raises(ConfigurationError):
+            WayPartitionController(tight, num_workloads=2)
+
+
+class TestController:
+    def make(self, hysteresis=0.0, **overrides):
+        fields = dict(
+            total_ways=8,
+            way_lines=_WAY_LINES,
+            hysteresis=hysteresis,
+            min_sampled_reuses=32,
+        )
+        fields.update(overrides)
+        config = CacheControlConfig(**fields)
+        return WayPartitionController(config, num_workloads=2)
+
+    def test_wrong_estimate_count_raises(self):
+        controller = self.make()
+        with pytest.raises(ConfigurationError):
+            controller.update([loop_estimate(100)])
+
+    def test_starts_at_static_split(self):
+        assert self.make().allocation == (4, 4)
+
+    def test_exhaustive_optimization_finds_asymmetric_split(self):
+        # A fits one way (100 < 256 lines); B needs 6 ways (1500 lines).
+        controller = self.make()
+        decision = controller.update(
+            [loop_estimate(100), loop_estimate(1500)]
+        )
+        assert not decision.fallback
+        assert decision.moved
+        assert sum(decision.allocation) == 8
+        assert decision.allocation[0] >= 1
+        assert decision.allocation[1] >= 6
+        assert decision.predicted_hit_rate is not None
+        assert decision.predicted_hit_rate > 0.9
+
+    def test_repeat_decision_does_not_move(self):
+        controller = self.make()
+        first = controller.update([loop_estimate(100), loop_estimate(1500)])
+        second = controller.update(
+            [loop_estimate(100, epoch=1), loop_estimate(1500, epoch=1)]
+        )
+        assert first.moved
+        assert not second.moved
+        assert second.allocation == first.allocation
+        assert second.epoch == first.epoch + 1
+
+    def test_hysteresis_holds_the_current_allocation(self):
+        # With hysteresis larger than any possible gain the controller
+        # must keep the static split even though a better one exists.
+        controller = self.make(hysteresis=1.0)
+        decision = controller.update(
+            [loop_estimate(100), loop_estimate(1500)]
+        )
+        assert not decision.fallback
+        assert not decision.moved
+        assert decision.allocation == (4, 4)
+        assert "held" in decision.reason
+
+    @pytest.mark.parametrize(
+        "bad, reason_part",
+        [
+            (unstable_estimate(), "no curve"),
+            (
+                # A curve exists but almost nothing re-referenced.
+                loop_estimate(100, accesses=200),
+                "sampled reuses",
+            ),
+            (loop_estimate(100, drift=0.9), "drift"),
+        ],
+    )
+    def test_unstable_estimate_falls_back_to_static(self, bad, reason_part):
+        controller = self.make(min_sampled_reuses=1000)
+        decision = controller.update([loop_estimate(100_000 // 20), bad])
+        assert decision.fallback
+        assert decision.allocation == controller.static_allocation
+        assert decision.predicted_hit_rate is None
+        assert "workload 1" in decision.reason
+        assert reason_part in decision.reason
+
+    def test_infinite_drift_is_not_instability(self):
+        # First epoch has no drift baseline (inf); that alone must not
+        # trigger the fallback or the controller could never bootstrap.
+        controller = self.make()
+        decision = controller.update(
+            [
+                loop_estimate(100, drift=math.inf),
+                loop_estimate(1500, drift=math.inf),
+            ]
+        )
+        assert not decision.fallback
+
+    def test_three_workload_greedy_path(self):
+        config = CacheControlConfig(total_ways=9, way_lines=_WAY_LINES)
+        controller = WayPartitionController(config, num_workloads=3)
+        decision = controller.update(
+            [loop_estimate(100), loop_estimate(200), loop_estimate(400)]
+        )
+        assert not decision.fallback
+        assert sum(decision.allocation) == 9
+        assert all(ways >= 1 for ways in decision.allocation)
+
+    def test_metrics_published(self):
+        registry = MetricsRegistry()
+        config = CacheControlConfig(total_ways=8, way_lines=_WAY_LINES)
+        controller = WayPartitionController(
+            config, num_workloads=2, metrics=registry
+        )
+        controller.update([loop_estimate(100), loop_estimate(1500)])
+        controller.update([unstable_estimate(), unstable_estimate()])
+        snapshot = registry.snapshot("repro.search.cachectl")
+        assert snapshot.value("repro.search.cachectl.epochs") == 2
+        assert snapshot.value("repro.search.cachectl.fallbacks") == 1
+        assert snapshot.value("repro.search.cachectl.repartitions") >= 1
+        ways = snapshot.payload("repro.search.cachectl.ways")
+        children = ways["children"]
+        assert {"{workload=0}", "{workload=1}"} <= set(children)
+        # After the fallback both workloads sit at the static 4/4 split.
+        assert children["{workload=0}"] == 4.0
+        assert children["{workload=1}"] == 4.0
+
+
+class TestLeafCacheMonitor:
+    CAPS = [256, 1024, 4096]
+
+    def monitor(self, registry=None, **overrides):
+        recorder = TraceRecorder()
+        fields = dict(
+            drift_capacities_lines=self.CAPS,
+            rate=1.0,
+            replicas=1,
+            seed=0,
+            metrics=registry,
+        )
+        fields.update(overrides)
+        return recorder, LeafCacheMonitor(recorder, **fields)
+
+    def touch_lines(self, recorder, lines):
+        recorder.touch_many(
+            np.asarray(lines, np.int64) * 64, AccessKind.LOAD, Segment.HEAP
+        )
+
+    def test_capacity_validation(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ConfigurationError):
+            LeafCacheMonitor(recorder, drift_capacities_lines=[])
+        with pytest.raises(ConfigurationError):
+            LeafCacheMonitor(recorder, drift_capacities_lines=[0, 64])
+
+    def test_drain_consumes_and_resets_recorder(self):
+        recorder, monitor = self.monitor()
+        self.touch_lines(recorder, np.arange(500))
+        assert monitor.drain() == 500
+        assert recorder.pending_accesses == 0
+        assert monitor.drain() == 0  # nothing buffered any more
+
+    def test_empty_epoch_yields_no_curve(self):
+        _, monitor = self.monitor()
+        estimate = monitor.end_epoch()
+        assert estimate.curve is None
+        assert not estimate.stable
+        assert math.isinf(estimate.drift)
+        assert estimate.accesses == 0
+        assert monitor.epoch == 1
+
+    def test_drift_needs_two_epochs_with_curves(self):
+        recorder, monitor = self.monitor()
+        stream = np.tile(np.arange(300, dtype=np.int64), 50)
+        self.touch_lines(recorder, stream)
+        monitor.drain()
+        first = monitor.end_epoch()
+        assert first.stable
+        assert math.isinf(first.drift)  # no baseline yet
+
+        self.touch_lines(recorder, stream)
+        monitor.drain()
+        second = monitor.end_epoch()
+        assert second.stable
+        assert second.drift == pytest.approx(0.0, abs=1e-9)
+
+        # A phase change shows up as large finite drift.
+        self.touch_lines(recorder, np.arange(15_000))
+        monitor.drain()
+        third = monitor.end_epoch()
+        assert math.isfinite(third.drift)
+        assert third.drift > 0.1
+
+    def test_epoch_isolation(self):
+        # Per-epoch estimators must not accumulate: accesses reset.
+        recorder, monitor = self.monitor()
+        self.touch_lines(recorder, np.arange(400))
+        monitor.drain()
+        first = monitor.end_epoch()
+        self.touch_lines(recorder, np.arange(100))
+        monitor.drain()
+        second = monitor.end_epoch()
+        assert first.accesses == 400
+        assert second.accesses == 100
+
+    def test_metrics_published(self):
+        registry = MetricsRegistry()
+        recorder, monitor = self.monitor(registry=registry, leaf="7")
+        self.touch_lines(recorder, np.tile(np.arange(200), 10))
+        monitor.drain()
+        monitor.end_epoch()
+        snapshot = registry.snapshot("repro.cachesim.shards")
+        assert snapshot.value("repro.cachesim.shards.accesses") == 2000
+        assert snapshot.value("repro.cachesim.shards.epochs") == 1
+        rate = snapshot.payload("repro.cachesim.shards.rate")
+        assert rate["children"]["{leaf=7}"] == 1.0
+        for name in ("sampled", "evictions", "reservoir_lines", "drift"):
+            assert f"repro.cachesim.shards.{name}" in snapshot

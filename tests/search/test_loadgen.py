@@ -110,11 +110,28 @@ class TestLoadReport:
         with pytest.raises(ConfigurationError):
             report.quantile_ms(0.5)
         with pytest.raises(ConfigurationError):
-            report.mean_ms()
-        with pytest.raises(ConfigurationError):
             LoadReport(latencies_ms=[1.0]).quantile_ms(1.0)
+        # mean_ms is defined (0.0) on an empty report: overload sweeps
+        # reach points where admission sheds everything.
+        assert report.mean_ms() == 0.0
+        assert not report.starved  # no arrivals yet — idle, not starved
         assert report.offered_qps == 0.0 and report.degraded_rate == 0.0
         assert "no latencies" in report.render()
+
+    def test_starved_run_reports_instead_of_crashing(self):
+        # Admission shed every query: arrivals happened, nothing served.
+        report = LoadReport(arrivals=50, duration_ms=1000.0)
+        for _ in range(50):
+            report.observe(
+                _page(latency_ms=None, complete=False, leaves_answered=0)
+            )
+        assert report.starved
+        assert report.served_qps == 0.0
+        assert report.completed_qps == pytest.approx(50.0)  # failed pages
+        assert report.mean_ms() == 0.0
+        with pytest.raises(ConfigurationError, match="starved"):
+            report.p99_ms()
+        assert "STARVED" in report.render()
 
     def test_run_open_loop_validation(self):
         engine = _mm1_engine(seed=0)

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Coverage ratchet for the gated packages (cachesim, analysis).
+"""Coverage ratchet for the gated packages (cachesim, analysis, search).
 
 ``tools/coverage_ratchet.json`` maps package prefixes to per-file and
 aggregate line-coverage floors.  Two modes:
