@@ -1,0 +1,14 @@
+"""Regenerate the design-space exploration (Figures 9-14 as one search)."""
+
+from repro.experiments import dse
+
+
+def test_dse_regeneration(run_once, preset, benchmark):
+    result = run_once(dse.run, preset)
+    assert result.rows, "the frontier head must tabulate"
+    best = result.rows[0]
+    assert best["qps_pct"] > 20  # the search must beat the baseline
+    assert best["area_mib"] <= 117.0  # iso-area budget holds on the frontier
+    assert any("on the Pareto frontier" in note for note in result.notes)
+    benchmark.extra_info["best_qps_pct"] = best["qps_pct"]
+    benchmark.extra_info["frontier_rows"] = len(result.rows)

@@ -47,10 +47,13 @@ DOCS_SCOPE = (
     "repro.cachesim.setsample",
     "repro.cachesim.shards",
     "repro.search.cachectl",
+    "repro.hw",
+    "repro.dse",
 )
 
-#: Parameter suffixes that denote a physical unit (durations and sizes).
-_UNIT_SUFFIXES = ("_ms", "_ns", "_us", "_bytes", "_mib", "_kib", "_gib")
+#: Parameter suffixes that denote a physical unit (durations, sizes, and
+#: energies — ``_nj`` joined with the hw/dse energy-per-query axes).
+_UNIT_SUFFIXES = ("_ms", "_ns", "_us", "_bytes", "_mib", "_kib", "_gib", "_nj")
 
 #: Dunder methods whose semantics the language fixes anyway.
 _EXEMPT_DUNDERS = frozenset(

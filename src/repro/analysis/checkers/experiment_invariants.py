@@ -45,7 +45,7 @@ RPR202 = Rule(
 
 #: Experiment modules follow these stem patterns under repro.experiments.
 _EXPERIMENT_STEM_RE = re.compile(
-    r"^(fig\d+|table\d+|power|discussion|ablations|slo|hurryup|adaptive)$"
+    r"^(fig\d+|table\d+|power|discussion|ablations|slo|hurryup|adaptive|dse)$"
 )
 _RUNNER_MODULE = "repro.experiments.runner"
 _EXPERIMENTS_PACKAGE = "repro.experiments"

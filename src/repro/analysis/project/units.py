@@ -44,6 +44,7 @@ SUFFIX_UNITS: dict[str, str] = {
     "_gib": "gib",
     "_cycles": "cycles",
     "_lines": "lines",
+    "_nj": "nj",
 }
 
 #: ``repro._units`` constants: name -> (base unit, denomination unit).

@@ -1,0 +1,33 @@
+"""Design-space exploration over declarative hardware specs.
+
+Enumerates thousands of candidate memory hierarchies (cores-vs-L3
+split, CAT way partitioning, L4 size and latency) from
+:class:`~repro.dse.space.DesignSpace`, evaluates each with the paper's
+calibrated models and the fused composed-run engine
+(:class:`~repro.dse.explorer.DesignSpaceExplorer`), filters by iso-area
+and iso-power constraints, and reports the Pareto frontier over
+(QPS, area, energy-per-query) via :func:`~repro.dse.pareto.pareto_frontier`.
+Figures 9, 10, 13, and 14 are single points or slices of this space;
+the ``dse`` experiment re-derives their chosen designs as cross-checks.
+"""
+
+from repro.dse.explorer import (
+    Constraints,
+    DesignSpaceExplorer,
+    EvaluatedDesign,
+    ExplorationResult,
+)
+from repro.dse.pareto import OBJECTIVES, dominates, pareto_frontier
+from repro.dse.space import DesignPoint, DesignSpace
+
+__all__ = [
+    "Constraints",
+    "DesignPoint",
+    "DesignSpace",
+    "DesignSpaceExplorer",
+    "EvaluatedDesign",
+    "ExplorationResult",
+    "OBJECTIVES",
+    "dominates",
+    "pareto_frontier",
+]

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro._units import MiB
 from repro.cachesim.composed import ComposedHierarchy
 from repro.cachesim.hierarchy import HierarchyConfig
 from repro.errors import ConfigurationError
@@ -13,6 +13,9 @@ from repro.memtrace.synthetic import generate_segment_streams
 from repro.memtrace.trace import Segment
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.workloads.profiles import WorkloadProfile, get_profile
+
+if TYPE_CHECKING:
+    from repro.hw.adapters import DerivedModels
 
 
 class RunCache:
@@ -211,15 +214,40 @@ def _format_cell(value) -> str:
 # ----------------------------------------------------------------------
 
 
+def paper_models() -> DerivedModels:
+    """Model views of the paper's §IV proposed design, derived from data.
+
+    Returns the :class:`~repro.hw.adapters.DerivedModels` bundle of
+    :func:`repro.hw.catalog.proposed` — area/power/latency/perf models
+    plus the L4 configuration — which the figure experiments consume in
+    place of hand-coded ``AreaModel()``/``PowerModel()``/... objects.
+    The differential battery in ``tests/experiments/test_spec_golden.py``
+    proves this path byte-identical to the hand-coded one.
+    """
+    from repro.hw.adapters import derive_models
+    from repro.hw.catalog import proposed
+
+    return derive_models(proposed())
+
+
 def platform_hierarchy(platform: str, preset: RunPreset) -> HierarchyConfig:
-    """The scaled cache hierarchy of a named platform."""
+    """The scaled cache hierarchy of a named platform.
+
+    ``"plt1"`` is the §III-A *simulated* configuration (40 MiB L3), not
+    the Table II lab machine; ``"plt2"`` is the Table II POWER8 system.
+    Both are derived from the declarative specs in
+    :mod:`repro.hw.catalog`.
+    """
+    from repro.hw import catalog
+    from repro.hw.adapters import hierarchy_config
+
     if platform == "plt1":
-        base = HierarchyConfig.plt1_like(l3_size=40 * MiB)
+        spec = catalog.plt1_simulated()
     elif platform == "plt2":
-        base = HierarchyConfig.plt2_like()
+        spec = catalog.plt2()
     else:
         raise ConfigurationError(f"unknown platform {platform!r}")
-    return base.scaled(preset.scale)
+    return hierarchy_config(spec).scaled(preset.scale)
 
 
 def composed_run(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.hitcurve import LogLinearHitCurve
 from repro.core.rebalance import CacheForCoresOptimizer
+from repro.experiments import common
 from repro.experiments.common import ExperimentResult, RunPreset
 
 EXPERIMENT_ID = "fig10"
@@ -22,9 +23,12 @@ RATIOS = (2.25, 2.0, 1.75, 1.5, 1.25, 1.0, 0.75, 0.5)
 def sweeps() -> dict[str, list]:
     """The four bar groups of Figure 10."""
     groups = {}
+    models = common.paper_models()
     for smt in (True, False):
         optimizer = CacheForCoresOptimizer(
-            hit_rate_fn=LogLinearHitCurve.fig10_effective(smt=smt)
+            hit_rate_fn=LogLinearHitCurve.fig10_effective(smt=smt),
+            perf_model=models.perf,
+            area_model=models.area,
         )
         for quantize in (False, True):
             name = f"smt-{'on' if smt else 'off'}{'-quantized' if quantize else ''}"

@@ -10,7 +10,8 @@ are mostly shard, and 1 GiB achieves most of the heap benefit.
 from __future__ import annotations
 
 from repro._units import MiB
-from repro.core.l4cache import L4Cache, L4Config
+from repro.core.l4cache import L4Cache
+from repro.experiments import common
 from repro.experiments.common import ExperimentResult, RunPreset, composed_run
 from repro.memtrace.trace import Segment
 
@@ -24,12 +25,13 @@ _DESIGN_L3_MIB = 23
 def sweep(preset: RunPreset) -> dict[int, "object"]:
     """paper-MiB -> L4Result over the rebalanced design's miss stream."""
     run_ = composed_run("s1-leaf", preset, platform="plt1")
+    models = common.paper_models()
     l3_capacity = max(1, int(_DESIGN_L3_MIB * MiB * preset.scale))
     lines, segments = run_.l4_demand(l3_capacity, seed=preset.seed)
     results = {}
     for paper_mib in SWEEP_MIB:
         capacity = max(64, int(paper_mib * MiB * preset.scale))
-        config = L4Config(capacity=capacity)
+        config = models.l4_config(capacity)
         results[paper_mib] = L4Cache(config).simulate(lines, segments)
     return results
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro._units import MiB
 from repro.core.hitcurve import LogLinearHitCurve
 from repro.core.optimizer import HierarchyDesignEvaluator, SensitivityScenario
+from repro.experiments import common
 from repro.experiments.common import ExperimentResult, RunPreset, composed_run
 
 EXPERIMENT_ID = "fig14"
@@ -27,10 +28,13 @@ L4_SIZES_MIB = (128, 256, 512, 1024, 2048)
 def evaluator(preset: RunPreset) -> HierarchyDesignEvaluator:
     """The design evaluator over the composed S1-leaf run."""
     run_ = composed_run("s1-leaf", preset, platform="plt1")
+    models = common.paper_models()
     return HierarchyDesignEvaluator(
         stream_source=run_,
         scale=preset.scale,
         l3_hit_fn=LogLinearHitCurve.fig10_effective(),
+        perf_model=models.perf,
+        area_model=models.area,
     )
 
 

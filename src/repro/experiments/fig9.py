@@ -13,11 +13,9 @@ headline observations:
 
 from __future__ import annotations
 
-from repro._units import MiB
-from repro.core.area import AreaModel
 from repro.core.hitcurve import LogLinearHitCurve
-from repro.core.perf_model import SearchPerfModel
 from repro.core.rebalance import CacheForCoresOptimizer
+from repro.experiments import common
 from repro.experiments.common import ExperimentResult, RunPreset
 
 EXPERIMENT_ID = "fig9"
@@ -27,10 +25,11 @@ TITLE = "QPS vs. L3-equivalent area across core/cache combinations"
 def grid() -> list[tuple[int, float, float, float]]:
     """(cores, l3_mib, area_mib, qps) for the full measurement grid."""
     curve = LogLinearHitCurve.fig10_effective()
+    models = common.paper_models()
     optimizer = CacheForCoresOptimizer(
         hit_rate_fn=curve,
-        perf_model=SearchPerfModel(),
-        area_model=AreaModel(),
+        perf_model=models.perf,
+        area_model=models.area,
     )
     core_counts = list(range(4, 19))
     l3_sizes = [round(ways * 2.25, 2) for ways in range(2, 21, 2)]

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from repro._units import MiB
 from repro.core.hitcurve import LogLinearHitCurve
-from repro.core.perf_model import SearchPerfModel
-from repro.core.power import PowerModel
+from repro.experiments import common
 from repro.experiments.common import ExperimentResult, RunPreset, composed_run
 
 EXPERIMENT_ID = "power"
@@ -23,8 +22,9 @@ def run(preset: RunPreset | None = None) -> ExperimentResult:
     """Socket power, TDP margin, iso-power option, memory energy."""
     preset = preset or RunPreset.quick()
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
-    power = PowerModel()
-    perf = SearchPerfModel()
+    models = common.paper_models()
+    power = models.power
+    perf = models.perf
     curve = LogLinearHitCurve.fig10_effective()
 
     increase = power.power_increase_fraction(23)
@@ -66,11 +66,11 @@ def run(preset: RunPreset | None = None) -> ExperimentResult:
     run_ = composed_run("s1-leaf", preset, platform="plt1")
     l3_capacity = max(1, int(23 * MiB * preset.scale))
     demand_mpki = run_.l3_mpki(l3_capacity)
-    from repro.core.l4cache import L4Cache, L4Config
+    from repro.core.l4cache import L4Cache
 
     lines, segments = run_.l4_demand(l3_capacity, seed=preset.seed)
     l4_capacity = max(64, int(1024 * MiB * preset.scale))
-    l4_hit = L4Cache(L4Config(capacity=l4_capacity)).simulate(
+    l4_hit = L4Cache(models.l4_config(l4_capacity)).simulate(
         lines, segments
     ).hit_rate
     without = power.memory_energy_per_ki(demand_mpki)

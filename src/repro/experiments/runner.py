@@ -17,6 +17,7 @@ from repro.experiments import (
     ablations,
     adaptive,
     discussion,
+    dse,
     fig2,
     fig3,
     fig4,
@@ -62,6 +63,7 @@ ALL_MODULES = (
     adaptive,
     discussion,
     ablations,
+    dse,
 )
 
 

@@ -1,0 +1,154 @@
+"""The paper's platforms and proposed design, as declarative specs.
+
+Four specs, mirroring how the experiments use them:
+
+* :func:`plt1` — the Table II PLT1 lab machine (Haswell, 18 cores and
+  45 MiB of 20-way L3 per socket).  Its power/area fields carry the
+  paper's measured anchors: 4 MiB of L3-equivalent area per core,
+  143 W per socket at 18 cores with 3.77% per core, 165 W published TDP.
+* :func:`plt1_simulated` — the §III-A simulated configuration, identical
+  but with the 40 MiB L3 the paper models; this is what the composed
+  trace runs use.
+* :func:`plt2` — the Table II POWER8 machine (SMT-8, 128 B blocks,
+  96 MiB eDRAM L3).  Its power/area numbers are plausible placeholders,
+  not paper-calibrated: the paper measured die area and socket power on
+  PLT1 only.
+* :func:`proposed` — the paper's §IV design: 23 cores at 1 MiB/core of
+  L3 (modeled as 23 ways of 1 MiB) plus a 1 GiB direct-mapped eDRAM L4
+  at 40 ns with 6 nJ per access.  The power anchors stay referenced to
+  the measured 18-core point (``power_reference_cores=18``), which is
+  how the paper extrapolates the +18.9% socket power of the 23-core
+  design.
+
+Latency/bandwidth/energy values not stated by the paper (L1/L2 timing,
+per-level bandwidths, SRAM energies) are conventional figures included
+for declarative completeness; no downstream model consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro._units import GiB, KiB, MiB
+from repro.hw.instance import MemoryInstance
+from repro.hw.spec import HardwareSpec
+
+
+def plt1() -> HardwareSpec:
+    """The Table II PLT1 platform (Intel Haswell, 45 MiB L3)."""
+    return HardwareSpec(
+        name="PLT1",
+        microarchitecture="Intel Haswell",
+        calibration="haswell",
+        sockets=2,
+        cores_per_socket=18,
+        smt_ways=2,
+        l1i=MemoryInstance(
+            name="L1I", kind="sram", size_bytes=32 * KiB,
+            latency_ns=1.6, bandwidth_gibps=1000.0, energy_nj=0.05,
+        ),
+        l1d=MemoryInstance(
+            name="L1D", kind="sram", size_bytes=32 * KiB,
+            latency_ns=1.6, bandwidth_gibps=1000.0, energy_nj=0.05,
+        ),
+        l2=MemoryInstance(
+            name="L2", kind="sram", size_bytes=256 * KiB,
+            latency_ns=4.8, bandwidth_gibps=500.0, energy_nj=0.1,
+        ),
+        l3=MemoryInstance(
+            name="L3", kind="sram", size_bytes=45 * MiB, assoc=20,
+            shared=True, banks=18, latency_ns=36.0, bandwidth_gibps=300.0,
+            area_mib=45.0, energy_nj=1.2,
+        ),
+        memory=MemoryInstance(
+            name="DRAM", kind="dram", size_bytes=256 * GiB, assoc=0,
+            shared=True, banks=4, latency_ns=110.0, bandwidth_gibps=76.8,
+            energy_nj=20.0,
+        ),
+        issue_width=4,
+        frequency_ghz=2.5,
+        small_page_bytes=4 * KiB,
+        huge_page_bytes=2 * MiB,
+        core_area_mib=4.0,
+        baseline_socket_watts=143.0,
+        core_fraction_of_socket=0.0377,
+        power_reference_cores=18,
+        published_tdp_watts=165.0,
+    )
+
+
+def plt1_simulated() -> HardwareSpec:
+    """The §III-A simulated PLT1-like system: a 40 MiB, 20-way L3."""
+    base = plt1()
+    return replace(
+        base,
+        name="PLT1-sim",
+        l3=replace(base.l3, size_bytes=40 * MiB, area_mib=40.0),
+    )
+
+
+def plt2() -> HardwareSpec:
+    """The Table II PLT2 platform (IBM POWER8, 96 MiB eDRAM L3)."""
+    return HardwareSpec(
+        name="PLT2",
+        microarchitecture="IBM POWER8",
+        calibration="power8",
+        sockets=2,
+        cores_per_socket=12,
+        smt_ways=8,
+        l1i=MemoryInstance(
+            name="L1I", kind="sram", size_bytes=32 * KiB, block_bytes=128,
+            latency_ns=1.2, bandwidth_gibps=1000.0, energy_nj=0.05,
+        ),
+        l1d=MemoryInstance(
+            name="L1D", kind="sram", size_bytes=64 * KiB, block_bytes=128,
+            latency_ns=1.2, bandwidth_gibps=1000.0, energy_nj=0.05,
+        ),
+        l2=MemoryInstance(
+            name="L2", kind="sram", size_bytes=512 * KiB, block_bytes=128,
+            latency_ns=3.4, bandwidth_gibps=500.0, energy_nj=0.1,
+        ),
+        l3=MemoryInstance(
+            name="L3", kind="edram", size_bytes=96 * MiB, block_bytes=128,
+            shared=True, banks=12, latency_ns=30.0, bandwidth_gibps=300.0,
+            area_mib=96.0, energy_nj=1.5,
+        ),
+        memory=MemoryInstance(
+            name="DRAM", kind="dram", size_bytes=256 * GiB, block_bytes=128,
+            assoc=0, shared=True, banks=4, latency_ns=110.0,
+            bandwidth_gibps=76.8, energy_nj=20.0,
+        ),
+        issue_width=8,
+        frequency_ghz=3.5,
+        small_page_bytes=64 * KiB,
+        huge_page_bytes=16 * MiB,
+        core_area_mib=8.0,
+        baseline_socket_watts=190.0,
+        core_fraction_of_socket=0.05,
+        power_reference_cores=12,
+        published_tdp_watts=190.0,
+    )
+
+
+def proposed() -> HardwareSpec:
+    """The paper's §IV proposed design: rebalanced L3 + 1 GiB eDRAM L4.
+
+    23 cores per socket at 1 MiB/core of L3 (23 ways of 1 MiB — the
+    same way-granularity the CAT experiments partition by) and an
+    Alloy-style direct-mapped L4 of eight 128 MiB eDRAM dies on the
+    package.  The L4's ``static_mw_per_mib`` models eDRAM
+    refresh/standby power, the cost axis that makes "just double the
+    L4" a real trade-off in the design-space exploration.
+    """
+    base = plt1_simulated()
+    return replace(
+        base,
+        name="PLT1-proposed",
+        cores_per_socket=23,
+        l3=replace(base.l3, size_bytes=23 * MiB, assoc=23, banks=23, area_mib=23.0),
+        l4=MemoryInstance(
+            name="L4", kind="edram", size_bytes=1 * GiB, assoc=1,
+            shared=True, banks=8, latency_ns=40.0, bandwidth_gibps=102.4,
+            energy_nj=6.0, static_mw_per_mib=6.0,
+        ),
+    )

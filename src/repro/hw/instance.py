@@ -1,0 +1,178 @@
+"""One level of a memory hierarchy, described declaratively.
+
+A :class:`MemoryInstance` carries everything the paper's models need to
+know about a cache or memory level — geometry (size, block, ways,
+banks), timing (latency, bandwidth), and cost (die area, per-access
+energy, static power) — validated at construction and serializable to a
+plain dict for lossless JSON round trips.  Instances are inert data:
+the adapters in :mod:`repro.hw.adapters` turn them into simulator and
+model configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro._units import MiB, format_size, is_power_of_two
+from repro.errors import ConfigurationError
+
+#: Memory technologies a level may declare.
+KINDS = ("sram", "edram", "dram")
+
+#: Fields that must hold booleans (checked before the int fields:
+#: ``bool`` is a subclass of ``int`` and must not satisfy them).
+_BOOL_FIELDS = ("shared",)
+_INT_FIELDS = ("size_bytes", "block_bytes", "assoc", "banks")
+_FLOAT_FIELDS = (
+    "latency_ns",
+    "bandwidth_gibps",
+    "area_mib",
+    "energy_nj",
+    "static_mw_per_mib",
+)
+
+
+@dataclass(frozen=True)
+class MemoryInstance:
+    """One declarative memory level.
+
+    ``assoc`` follows cache convention: ``1`` is direct-mapped, ``0``
+    declares the level fully associative / plainly addressable (main
+    memory).  ``area_mib`` is in the paper's "equivalent L3 MiB" die
+    area currency; per-core SRAM area is conventionally folded into
+    ``HardwareSpec.core_area_mib`` instead.
+
+    Units: ``size_bytes`` and ``block_bytes`` are bytes; ``latency_ns``
+    is nanoseconds (load-to-use); ``bandwidth_gibps`` is GiB/s;
+    ``area_mib`` is equivalent L3 MiB; ``energy_nj`` is nanojoules per
+    block access; ``static_mw_per_mib`` is milliwatts of standby/refresh
+    power per MiB of capacity.
+    """
+
+    name: str
+    kind: str
+    size_bytes: int
+    latency_ns: float
+    bandwidth_gibps: float
+    block_bytes: int = 64
+    assoc: int = 8
+    shared: bool = False
+    banks: int = 1
+    area_mib: float = 0.0
+    energy_nj: float = 0.0
+    static_mw_per_mib: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate every field, raising :class:`ConfigurationError`."""
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError("name must be a non-empty string")
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        for field in _BOOL_FIELDS:
+            if not isinstance(getattr(self, field), bool):
+                raise ConfigurationError(f"{field} must be a bool")
+        for field in _INT_FIELDS:
+            value = getattr(self, field)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(f"{field} must be an int")
+        for field in _FLOAT_FIELDS:
+            value = getattr(self, field)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(f"{field} must be a number")
+        if not is_power_of_two(self.block_bytes):
+            raise ConfigurationError(
+                f"block_bytes must be a power of two, got {self.block_bytes}"
+            )
+        if self.size_bytes < self.block_bytes:
+            raise ConfigurationError(
+                f"size_bytes ({self.size_bytes}) must be at least one block "
+                f"({self.block_bytes})"
+            )
+        if self.size_bytes % self.block_bytes:
+            raise ConfigurationError(
+                "size_bytes must be a whole number of blocks"
+            )
+        if self.assoc < 0:
+            raise ConfigurationError(f"assoc must be >= 0, got {self.assoc}")
+        if self.assoc and self.size_bytes % (self.assoc * self.block_bytes):
+            raise ConfigurationError(
+                f"size_bytes must split into whole {self.assoc}-way sets"
+            )
+        if self.banks < 1:
+            raise ConfigurationError(f"banks must be >= 1, got {self.banks}")
+        if self.latency_ns <= 0:
+            raise ConfigurationError("latency_ns must be positive")
+        if self.bandwidth_gibps <= 0:
+            raise ConfigurationError("bandwidth_gibps must be positive")
+        for field in ("area_mib", "energy_nj", "static_mw_per_mib"):
+            if getattr(self, field) < 0:
+                raise ConfigurationError(f"{field} must be >= 0")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size_mib(self) -> float:
+        """Capacity in MiB."""
+        return self.size_bytes / MiB
+
+    @property
+    def lines(self) -> int:
+        """Number of blocks the level holds."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def sets(self) -> int:
+        """Set count (1 for a fully-associative level)."""
+        if self.assoc == 0:
+            return 1
+        return self.size_bytes // (self.assoc * self.block_bytes)
+
+    def describe(self) -> str:
+        """One-line human summary of the level."""
+        ways = "fully-assoc" if self.assoc == 0 else f"{self.assoc}-way"
+        return (
+            f"{self.name}: {format_size(self.size_bytes)} {ways} "
+            f"{self.kind}, {self.block_bytes} B blocks, "
+            f"{self.latency_ns:g} ns"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; :meth:`from_dict` round-trips it losslessly."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemoryInstance":
+        """Rebuild an instance from :meth:`to_dict` output.
+
+        Unknown keys and missing required keys raise
+        :class:`ConfigurationError`; field values are re-validated by the
+        constructor.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"memory instance must be a dict, got {type(data).__name__}"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown memory-instance field(s): {unknown}"
+            )
+        required = {
+            field.name
+            for field in dataclasses.fields(cls)
+            if field.default is dataclasses.MISSING
+        }
+        missing = sorted(required - set(data))
+        if missing:
+            raise ConfigurationError(
+                f"missing memory-instance field(s): {missing}"
+            )
+        return cls(**data)

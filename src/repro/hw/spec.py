@@ -1,0 +1,250 @@
+"""A whole platform, described declaratively and serializably.
+
+:class:`HardwareSpec` assembles :class:`~repro.hw.instance.MemoryInstance`
+levels (L1-I/L1-D/L2/L3, an optional L4, and main memory) with the
+platform-wide facts the paper's models consume: core counts, SMT width,
+page sizes, the die-area currency (``core_area_mib``), and the measured
+power anchors (socket watts at a reference core count, per-core
+fraction, published TDP).  Validation enforces the cross-level
+invariants a real part must satisfy — monotone capacities and
+latencies, a shared L3, uniform cache block size — and every violation
+raises a typed :class:`~repro.errors.ConfigurationError`.
+
+Serialization is lossless: ``spec == HardwareSpec.from_json(spec.to_json())``
+holds for every valid spec (the Hypothesis suite in ``tests/hw`` pins
+this), with a ``schema_version`` field guarding format drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+from repro._units import KiB, MiB, is_power_of_two
+from repro.errors import ConfigurationError
+from repro.hw.instance import MemoryInstance
+
+#: Serialized-format version, embedded in every dict/JSON document.
+SCHEMA_VERSION = 1
+
+#: Measured model families a spec may calibrate against (SMT curves,
+#: TLB configurations).  The paper characterized two lab platforms.
+CALIBRATIONS = ("haswell", "power8")
+
+_COUNT_FIELDS = (
+    "sockets",
+    "cores_per_socket",
+    "smt_ways",
+    "issue_width",
+    "power_reference_cores",
+)
+_LEVEL_FIELDS = ("l1i", "l1d", "l2", "l3", "memory")
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """One platform: memory levels plus platform-wide model anchors.
+
+    ``power_reference_cores`` names the active-core count at which
+    ``baseline_socket_watts`` was measured (the paper scaled PLT1 from
+    4 to 18 cores and found socket power linear in cores), so specs for
+    *proposed* designs with more cores keep the measured anchor intact.
+
+    Units: ``frequency_ghz`` is GHz; ``small_page_bytes`` and
+    ``huge_page_bytes`` are bytes; ``core_area_mib`` is equivalent L3
+    MiB of die area per core (including its private caches);
+    ``baseline_socket_watts`` and ``published_tdp_watts`` are watts.
+    """
+
+    name: str
+    microarchitecture: str
+    calibration: str
+    sockets: int
+    cores_per_socket: int
+    smt_ways: int
+    l1i: MemoryInstance
+    l1d: MemoryInstance
+    l2: MemoryInstance
+    l3: MemoryInstance
+    memory: MemoryInstance
+    l4: MemoryInstance | None = None
+    issue_width: int = 4
+    frequency_ghz: float = 2.5
+    small_page_bytes: int = 4 * KiB
+    huge_page_bytes: int = 2 * MiB
+    core_area_mib: float = 4.0
+    baseline_socket_watts: float = 143.0
+    core_fraction_of_socket: float = 0.0377
+    power_reference_cores: int = 18
+    published_tdp_watts: float = 165.0
+
+    def __post_init__(self) -> None:
+        """Validate fields and cross-level invariants."""
+        for field in ("name", "microarchitecture"):
+            if not isinstance(getattr(self, field), str) or not getattr(self, field):
+                raise ConfigurationError(f"{field} must be a non-empty string")
+        if self.calibration not in CALIBRATIONS:
+            raise ConfigurationError(
+                f"calibration must be one of {CALIBRATIONS}, "
+                f"got {self.calibration!r}"
+            )
+        for field in _COUNT_FIELDS:
+            value = getattr(self, field)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(f"{field} must be an int")
+            if value < 1:
+                raise ConfigurationError(f"{field} must be >= 1, got {value}")
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("frequency_ghz must be positive")
+        if self.core_area_mib <= 0:
+            raise ConfigurationError("core_area_mib must be positive")
+        if self.baseline_socket_watts <= 0:
+            raise ConfigurationError("baseline_socket_watts must be positive")
+        if not 0 < self.core_fraction_of_socket < 1:
+            raise ConfigurationError(
+                "core_fraction_of_socket must be in (0, 1)"
+            )
+        if self.published_tdp_watts <= 0:
+            raise ConfigurationError("published_tdp_watts must be positive")
+        for field in ("small_page_bytes", "huge_page_bytes"):
+            value = getattr(self, field)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(f"{field} must be an int")
+            if not is_power_of_two(value):
+                raise ConfigurationError(f"{field} must be a power of two")
+        if self.huge_page_bytes <= self.small_page_bytes:
+            raise ConfigurationError(
+                "huge_page_bytes must exceed small_page_bytes"
+            )
+        self._check_levels()
+
+    def _check_levels(self) -> None:
+        for field in _LEVEL_FIELDS:
+            if not isinstance(getattr(self, field), MemoryInstance):
+                raise ConfigurationError(f"{field} must be a MemoryInstance")
+        if self.l4 is not None and not isinstance(self.l4, MemoryInstance):
+            raise ConfigurationError("l4 must be a MemoryInstance or None")
+        for field in ("l1i", "l1d", "l2"):
+            level = getattr(self, field)
+            if level.kind != "sram":
+                raise ConfigurationError(f"{field} must be SRAM, got {level.kind!r}")
+            if level.shared:
+                raise ConfigurationError(f"{field} must be private (shared=False)")
+        if not self.l3.shared:
+            raise ConfigurationError("the L3 must be shared")
+        if self.l4 is not None and not self.l4.shared:
+            raise ConfigurationError("the L4 must be shared")
+        if self.memory.kind != "dram":
+            raise ConfigurationError(
+                f"main memory must be DRAM, got {self.memory.kind!r}"
+            )
+        blocks = {level.block_bytes for level in self.cache_levels()}
+        if len(blocks) != 1:
+            raise ConfigurationError(
+                f"cache levels must share one block size, got {sorted(blocks)}"
+            )
+        for upper, lower in (("l1i", "l2"), ("l1d", "l2")):
+            if getattr(self, upper).size_bytes > getattr(self, lower).size_bytes:
+                raise ConfigurationError(
+                    f"{upper} capacity must not exceed {lower}"
+                )
+        chain = ["l2", "l3"] + (["l4"] if self.l4 is not None else []) + ["memory"]
+        for upper, lower in zip(chain, chain[1:]):
+            if getattr(self, upper).size_bytes >= getattr(self, lower).size_bytes:
+                raise ConfigurationError(
+                    f"{lower} capacity must exceed {upper}"
+                )
+            if getattr(self, upper).latency_ns > getattr(self, lower).latency_ns:
+                raise ConfigurationError(
+                    f"{lower} latency must be at least {upper}'s"
+                )
+
+    # ------------------------------------------------------------------
+
+    def cache_levels(self) -> tuple[MemoryInstance, ...]:
+        """The on-chip cache levels (L1-I, L1-D, L2, L3) in lookup order."""
+        return (self.l1i, self.l1d, self.l2, self.l3)
+
+    @property
+    def total_cores(self) -> int:
+        """Cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def cache_block_bytes(self) -> int:
+        """The uniform cache block size (validation guarantees uniformity)."""
+        return self.l1i.block_bytes
+
+    def describe(self) -> str:
+        """Multi-line human summary of the platform."""
+        lines = [
+            f"{self.name} ({self.microarchitecture}): "
+            f"{self.sockets}x{self.cores_per_socket} cores, "
+            f"SMT-{self.smt_ways}, {self.frequency_ghz:g} GHz"
+        ]
+        levels = list(self.cache_levels())
+        if self.l4 is not None:
+            levels.append(self.l4)
+        levels.append(self.memory)
+        lines.extend(f"  {level.describe()}" for level in levels)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, with a ``schema_version`` guard field."""
+        data: dict = {"schema_version": SCHEMA_VERSION}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, MemoryInstance):
+                value = value.to_dict()
+            data[field.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HardwareSpec":
+        """Rebuild a spec from :meth:`to_dict` output, re-validating it."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"hardware spec must be a dict, got {type(data).__name__}"
+            )
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported hardware-spec schema_version {version!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        payload = {key: value for key, value in data.items() if key != "schema_version"}
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown hardware-spec field(s): {unknown}")
+        required = {
+            field.name
+            for field in dataclasses.fields(cls)
+            if field.default is dataclasses.MISSING
+        }
+        missing = sorted(required - set(payload))
+        if missing:
+            raise ConfigurationError(f"missing hardware-spec field(s): {missing}")
+        for field in _LEVEL_FIELDS:
+            payload[field] = MemoryInstance.from_dict(payload[field])
+        if payload.get("l4") is not None:
+            payload["l4"] = MemoryInstance.from_dict(payload["l4"])
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """Deterministic JSON form (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "HardwareSpec":
+        """Parse :meth:`to_json` output back into a validated spec."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid hardware-spec JSON: {exc}") from exc
+        return cls.from_dict(data)

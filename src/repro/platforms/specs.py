@@ -4,17 +4,44 @@ PLT1 is an Intel Haswell-class 2-socket server, PLT2 an IBM POWER8-class
 one.  The spec objects carry the Table II attributes plus the calibrated
 per-platform models (cache hierarchy, SMT curve, TLB configurations) used
 throughout the experiments.
+
+The ``PLT1``/``PLT2`` constants are *derived* from the declarative specs
+in :mod:`repro.hw.catalog` — Table II is data, and this module's class is
+one adapter view of it.  The cache hierarchy is likewise built from the
+spec's own geometry fields; it used to dispatch on the magic name string
+``"PLT1"``, which silently handed any renamed or third platform PLT2's
+hierarchy.  The measured SMT and TLB models cannot be derived from
+geometry, so they key on an explicit ``calibration`` field instead of the
+name, and an unknown calibration raises rather than falling back.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._units import GiB, KiB, MiB, format_size
-from repro.cachesim.hierarchy import HierarchyConfig
+from repro.cachesim.cache import CacheGeometry
+from repro.cachesim.hierarchy import CacheLevelConfig, HierarchyConfig
 from repro.cpu.smt import SmtModel
 from repro.cpu.tlb import TlbConfig
 from repro.errors import ConfigurationError
+
+#: Measured-model families a platform may calibrate against.
+_SMT_CALIBRATIONS = {
+    "haswell": SmtModel.plt1_calibrated,
+    "power8": SmtModel.plt2_calibrated,
+}
+
+
+def _haswell_tlbs() -> tuple[TlbConfig, TlbConfig]:
+    return TlbConfig.plt1_small_pages(), TlbConfig.plt1_huge_pages()
+
+
+def _power8_tlbs() -> tuple[TlbConfig, TlbConfig]:
+    return TlbConfig.plt2_small_pages(), TlbConfig.plt2_huge_pages()
+
+
+_TLB_CALIBRATIONS = {"haswell": _haswell_tlbs, "power8": _power8_tlbs}
 
 
 @dataclass(frozen=True)
@@ -36,10 +63,22 @@ class PlatformSpec:
     huge_page_bytes: int = 2 * MiB
     issue_width: int = 4
     frequency_ghz: float = 2.5
+    l1_assoc: int = 8
+    l2_assoc: int = 8
+    l3_assoc: int = 20
+    #: Which measured model family (SMT curve, TLBs) the platform uses.
+    calibration: str = "haswell"
 
     def __post_init__(self) -> None:
         if self.sockets < 1 or self.cores_per_socket < 1 or self.smt_ways < 1:
             raise ConfigurationError("socket/core/SMT counts must be >= 1")
+        if min(self.l1_assoc, self.l2_assoc, self.l3_assoc) < 1:
+            raise ConfigurationError("cache associativities must be >= 1")
+        if self.calibration not in _SMT_CALIBRATIONS:
+            raise ConfigurationError(
+                f"unknown calibration {self.calibration!r}; expected one of "
+                f"{sorted(_SMT_CALIBRATIONS)}"
+            )
 
     @property
     def total_cores(self) -> int:
@@ -50,26 +89,28 @@ class PlatformSpec:
         return self.total_cores * self.smt_ways
 
     def hierarchy(self) -> HierarchyConfig:
-        """The platform's cache hierarchy as a simulator configuration."""
-        if self.name == "PLT1":
-            return HierarchyConfig.plt1_like(
-                l3_size=self.l3_bytes_per_socket, l3_assoc=20
+        """The platform's cache hierarchy, built from its own fields."""
+        block = self.cache_block_bytes
+
+        def level(name: str, size: int, assoc: int, shared: bool = False):
+            return CacheLevelConfig(
+                name, CacheGeometry(size, assoc, block), shared=shared
             )
-        return HierarchyConfig.plt2_like()
+
+        return HierarchyConfig(
+            l1i=level("L1I", self.l1i_bytes, self.l1_assoc),
+            l1d=level("L1D", self.l1d_bytes, self.l1_assoc),
+            l2=level("L2", self.l2_bytes, self.l2_assoc),
+            l3=level("L3", self.l3_bytes_per_socket, self.l3_assoc, shared=True),
+        )
 
     def smt_model(self) -> SmtModel:
         """The platform's calibrated SMT throughput model."""
-        return (
-            SmtModel.plt1_calibrated()
-            if self.name == "PLT1"
-            else SmtModel.plt2_calibrated()
-        )
+        return _SMT_CALIBRATIONS[self.calibration]()
 
     def tlb_configs(self) -> tuple[TlbConfig, TlbConfig]:
         """(small-page, huge-page) TLB configurations."""
-        if self.name == "PLT1":
-            return TlbConfig.plt1_small_pages(), TlbConfig.plt1_huge_pages()
-        return TlbConfig.plt2_small_pages(), TlbConfig.plt2_huge_pages()
+        return _TLB_CALIBRATIONS[self.calibration]()
 
     def table_row(self) -> dict[str, str]:
         """Table II row, rendered as strings."""
@@ -86,36 +127,12 @@ class PlatformSpec:
         }
 
 
-PLT1 = PlatformSpec(
-    name="PLT1",
-    microarchitecture="Intel Haswell",
-    sockets=2,
-    cores_per_socket=18,
-    smt_ways=2,
-    cache_block_bytes=64,
-    l1i_bytes=32 * KiB,
-    l1d_bytes=32 * KiB,
-    l2_bytes=256 * KiB,
-    l3_bytes_per_socket=45 * MiB,
-    small_page_bytes=4 * KiB,
-    huge_page_bytes=2 * MiB,
-    issue_width=4,
-    frequency_ghz=2.5,
-)
+def _table2_platforms() -> tuple[PlatformSpec, PlatformSpec]:
+    """Derive the Table II constants from the declarative hw catalog."""
+    from repro.hw.adapters import platform_spec
+    from repro.hw.catalog import plt1, plt2
 
-PLT2 = PlatformSpec(
-    name="PLT2",
-    microarchitecture="IBM POWER8",
-    sockets=2,
-    cores_per_socket=12,
-    smt_ways=8,
-    cache_block_bytes=128,
-    l1i_bytes=32 * KiB,
-    l1d_bytes=64 * KiB,
-    l2_bytes=512 * KiB,
-    l3_bytes_per_socket=96 * MiB,
-    small_page_bytes=64 * KiB,
-    huge_page_bytes=16 * MiB,
-    issue_width=8,
-    frequency_ghz=3.5,
-)
+    return platform_spec(plt1()), platform_spec(plt2())
+
+
+PLT1, PLT2 = _table2_platforms()

@@ -8,8 +8,11 @@ locally first.  The budget is deliberately loose (the run takes ~1-2s on
 a laptop) so slow CI machines don't flake.
 """
 
+import sys
 import time
 from pathlib import Path
+
+import pytest
 
 from repro.analysis import lint_paths
 
@@ -18,6 +21,11 @@ BUDGET_SECONDS = 10.0
 
 
 def test_whole_program_analysis_under_budget():
+    if sys.gettrace() is not None:
+        pytest.skip(
+            "a trace hook is active (debugger or the coverage_gate.py "
+            "stdlib tracer); wall-time is not meaningful"
+        )
     start = time.perf_counter()
     report = lint_paths([REPO_ROOT / "src" / "repro"])
     elapsed = time.perf_counter() - start

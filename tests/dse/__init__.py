@@ -1,0 +1,1 @@
+"""Tests for the design-space exploration engine (repro.dse)."""

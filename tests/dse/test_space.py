@@ -1,0 +1,82 @@
+"""Enumeration of the candidate design space."""
+
+import pytest
+
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.errors import ConfigurationError
+
+
+class TestDesignPoint:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cores=0, l3_mib=23.0),
+            dict(cores=23.0, l3_mib=23.0),  # float cores
+            dict(cores=True, l3_mib=23.0),  # bool is not an int
+            dict(cores=23, l3_mib=0.0),
+            dict(cores=23, l3_mib=-1.0),
+            dict(cores=23, l3_mib=23.0, l4_mib=-1),
+            dict(cores=23, l3_mib=23.0, l4_mib=1024, l4_hit_ns=0.0),
+            dict(cores=23, l3_mib=23.0, l4_mib=1024, l4_miss_penalty_ns=-1.0),
+        ],
+    )
+    def test_malformed_point_raises(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DesignPoint(**kwargs)
+
+    def test_has_l4(self):
+        assert not DesignPoint(cores=23, l3_mib=23.0).has_l4
+        assert DesignPoint(cores=23, l3_mib=23.0, l4_mib=1024).has_l4
+
+    def test_describe(self):
+        assert DesignPoint(cores=23, l3_mib=23.0).describe() == "23c/23MiB"
+        labeled = DesignPoint(cores=23, l3_mib=23.0, l4_mib=1024).describe()
+        assert "L4:1024MiB" in labeled and "40ns" in labeled
+
+
+class TestDesignSpace:
+    def test_from_points_dedupes_and_orders(self):
+        a = DesignPoint(cores=9, l3_mib=9.0)
+        b = DesignPoint(cores=8, l3_mib=4.0)
+        space = DesignSpace.from_points([a, b, a])
+        assert list(space) == [b, a]
+        assert len(space) == 2 and a in space
+
+    def test_duplicate_points_rejected_at_construction(self):
+        a = DesignPoint(cores=9, l3_mib=9.0)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            DesignSpace(points=(a, a))
+
+
+class TestPaperDefault:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return DesignSpace.paper_default()
+
+    def test_has_thousands_of_candidates(self, space):
+        assert len(space) >= 1000
+
+    def test_contains_the_papers_designs(self, space):
+        baseline = DesignPoint(cores=18, l3_mib=45.0)
+        rebalance = DesignPoint(cores=23, l3_mib=23.0)
+        chosen = DesignPoint(
+            cores=23, l3_mib=23.0, l4_mib=1024, l4_hit_ns=40.0,
+            l4_miss_penalty_ns=0.0,
+        )
+        pessimistic = DesignPoint(
+            cores=23, l3_mib=23.0, l4_mib=1024, l4_hit_ns=60.0,
+            l4_miss_penalty_ns=5.0,
+        )
+        for point in (baseline, rebalance, chosen, pessimistic):
+            assert point in space
+
+    def test_deterministic_canonical_order(self, space):
+        assert list(space) == sorted(space, key=lambda p: p.sort_key)
+        assert list(space) == list(DesignSpace.paper_default())
+
+    def test_spans_every_axis(self, space):
+        cores = {p.cores for p in space}
+        l4_sizes = {p.l4_mib for p in space}
+        assert cores == set(range(8, 29))
+        assert l4_sizes == {0, 128, 256, 512, 1024, 2048}
+        assert {p.l4_hit_ns for p in space if p.has_l4} == {40.0, 60.0}

@@ -1,0 +1,127 @@
+"""Differential equality: spec-derived models vs. the hand-coded objects.
+
+Each adapter output must *equal* the object the experiments used to
+construct by hand — this is the contract that lets PLT1/PLT2 and the
+proposed design live as declarative data without changing a single
+result byte (the experiment-level battery is
+``tests/experiments/test_spec_golden.py``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro._units import MiB
+from repro.cachesim.hierarchy import HierarchyConfig
+from repro.core.area import AreaModel
+from repro.core.l4cache import L4Config
+from repro.core.perf_model import MemoryLatencies, SearchPerfModel
+from repro.core.power import PowerModel
+from repro.errors import ConfigurationError
+from repro.hw import adapters, catalog
+from repro.platforms.specs import PLT1, PLT2
+
+
+class TestHierarchyEquality:
+    def test_plt1_table_machine(self):
+        derived = adapters.hierarchy_config(catalog.plt1())
+        assert derived == HierarchyConfig.plt1_like(l3_size=45 * MiB, l3_assoc=20)
+
+    def test_plt1_simulated_machine(self):
+        derived = adapters.hierarchy_config(catalog.plt1_simulated())
+        assert derived == HierarchyConfig.plt1_like()
+
+    def test_plt2(self):
+        assert adapters.hierarchy_config(catalog.plt2()) == HierarchyConfig.plt2_like()
+
+    def test_unsimulatable_assoc_raises(self):
+        spec = catalog.plt1()
+        spec = dataclasses.replace(
+            spec, l3=dataclasses.replace(spec.l3, assoc=0)
+        )
+        with pytest.raises(ConfigurationError, match="assoc"):
+            adapters.hierarchy_config(spec)
+
+
+class TestModelEquality:
+    def test_area_model(self):
+        assert adapters.area_model(catalog.plt1()) == AreaModel()
+
+    def test_power_model_of_proposed_design(self):
+        # 23 cores per socket, yet the measured 18-core anchor holds.
+        assert adapters.power_model(catalog.proposed()) == PowerModel()
+
+    def test_power_model_without_l4_keeps_default_edram_energy(self):
+        model = adapters.power_model(catalog.plt1())
+        assert model.edram_access_nj == PowerModel().edram_access_nj
+
+    def test_memory_latencies(self):
+        assert adapters.memory_latencies(catalog.proposed()) == MemoryLatencies()
+
+    def test_perf_model(self):
+        assert adapters.perf_model(catalog.proposed()) == SearchPerfModel()
+
+    def test_platform_spec_constants(self):
+        assert adapters.platform_spec(catalog.plt1()) == PLT1
+        assert adapters.platform_spec(catalog.plt2()) == PLT2
+
+    def test_platform_spec_rejects_split_l1_assoc(self):
+        spec = catalog.plt1()
+        spec = dataclasses.replace(
+            spec, l1d=dataclasses.replace(spec.l1d, assoc=4)
+        )
+        with pytest.raises(ConfigurationError, match="L1"):
+            adapters.platform_spec(spec)
+
+
+class TestL4Adapters:
+    def test_l4_config_defaults_to_declared_size(self):
+        assert adapters.l4_config(catalog.proposed()) == L4Config()
+
+    def test_l4_config_capacity_override(self):
+        config = adapters.l4_config(catalog.proposed(), capacity_bytes=123 * 64)
+        assert config == L4Config(capacity=123 * 64)
+
+    def test_no_l4_raises(self):
+        with pytest.raises(ConfigurationError, match="no L4"):
+            adapters.l4_config(catalog.plt1())
+
+    def test_fully_associative_l4(self):
+        spec = catalog.proposed()
+        spec = dataclasses.replace(
+            spec, l4=dataclasses.replace(spec.l4, assoc=0)
+        )
+        assert adapters.l4_config(spec).associativity == "full"
+
+    def test_set_associative_l4_has_no_model(self):
+        spec = catalog.proposed()
+        spec = dataclasses.replace(
+            spec, l4=dataclasses.replace(spec.l4, assoc=8)
+        )
+        with pytest.raises(ConfigurationError, match="8-way"):
+            adapters.l4_config(spec)
+
+    def test_static_watts(self):
+        spec = catalog.proposed()
+        assert adapters.l4_static_watts(spec, 1024.0) == 6.144
+        assert adapters.l4_static_watts(spec, 0.0) == 0.0
+        assert adapters.l4_static_watts(catalog.plt1(), 512.0) == 0.0
+        with pytest.raises(ConfigurationError, match="l4_mib"):
+            adapters.l4_static_watts(spec, -1.0)
+
+
+class TestDerivedModels:
+    def test_bundle_matches_individual_adapters(self):
+        spec = catalog.proposed()
+        models = adapters.derive_models(spec)
+        assert models.spec == spec
+        assert models.hierarchy == adapters.hierarchy_config(spec)
+        assert models.area == adapters.area_model(spec)
+        assert models.power == adapters.power_model(spec)
+        assert models.latencies == adapters.memory_latencies(spec)
+        assert models.perf == adapters.perf_model(spec)
+
+    def test_bundle_l4_helpers(self):
+        models = adapters.derive_models(catalog.proposed())
+        assert models.l4_config(64 * MiB).capacity == 64 * MiB
+        assert models.l4_static_watts(128.0) == 0.768

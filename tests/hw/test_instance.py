@@ -1,0 +1,159 @@
+"""Validation and serialization of MemoryInstance."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._units import GiB, KiB, MiB
+from repro.errors import ConfigurationError
+from repro.hw.instance import KINDS, MemoryInstance
+
+
+def l3() -> MemoryInstance:
+    return MemoryInstance(
+        name="L3",
+        kind="sram",
+        size_bytes=45 * MiB,
+        assoc=20,
+        shared=True,
+        banks=18,
+        latency_ns=36.0,
+        bandwidth_gibps=300.0,
+        area_mib=45.0,
+        energy_nj=1.2,
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("name", ""),
+            ("name", 7),
+            ("kind", "flash"),
+            ("kind", "SRAM"),
+            ("size_bytes", 32),  # smaller than one block
+            ("size_bytes", 45 * MiB + 1),  # not a whole number of blocks
+            ("size_bytes", 45.0 * MiB),  # float, not int
+            ("size_bytes", True),  # bool must not satisfy the int check
+            ("block_bytes", 48),  # not a power of two
+            ("block_bytes", True),
+            ("assoc", -1),
+            ("assoc", 7),  # 45 MiB does not split into whole 7-way sets
+            ("assoc", 2.0),
+            ("shared", 1),  # truthy int is not a bool
+            ("banks", 0),
+            ("banks", 1.5),
+            ("latency_ns", 0.0),
+            ("latency_ns", -3.0),
+            ("latency_ns", "36"),
+            ("bandwidth_gibps", 0.0),
+            ("area_mib", -1.0),
+            ("energy_nj", -0.1),
+            ("static_mw_per_mib", -6.0),
+        ],
+    )
+    def test_each_malformed_field_raises_typed_error(self, field, value):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(l3(), **{field: value})
+
+    def test_error_message_names_the_field(self):
+        with pytest.raises(ConfigurationError, match="latency_ns"):
+            dataclasses.replace(l3(), latency_ns=-1.0)
+        with pytest.raises(ConfigurationError, match="banks"):
+            dataclasses.replace(l3(), banks=0)
+
+    def test_valid_instance_constructs(self):
+        instance = l3()
+        assert instance.kind in KINDS
+        assert instance.shared
+
+    def test_fully_associative_is_assoc_zero(self):
+        dram = MemoryInstance(
+            name="DRAM", kind="dram", size_bytes=GiB, assoc=0,
+            latency_ns=110.0, bandwidth_gibps=76.8,
+        )
+        assert dram.sets == 1
+        assert "fully-assoc" in dram.describe()
+
+
+class TestProperties:
+    def test_size_mib(self):
+        assert l3().size_mib == 45.0
+
+    def test_lines_and_sets(self):
+        instance = l3()
+        assert instance.lines == 45 * MiB // 64
+        assert instance.sets == 45 * MiB // (20 * 64)
+
+    def test_describe_mentions_name_and_geometry(self):
+        text = l3().describe()
+        assert "L3" in text and "20-way" in text and "sram" in text
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        instance = l3()
+        assert MemoryInstance.from_dict(instance.to_dict()) == instance
+
+    def test_unknown_key_rejected(self):
+        data = l3().to_dict()
+        data["voltage"] = 1.1
+        with pytest.raises(ConfigurationError, match="voltage"):
+            MemoryInstance.from_dict(data)
+
+    def test_missing_required_key_rejected(self):
+        data = l3().to_dict()
+        del data["latency_ns"]
+        with pytest.raises(ConfigurationError, match="latency_ns"):
+            MemoryInstance.from_dict(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigurationError, match="dict"):
+            MemoryInstance.from_dict([("name", "L3")])
+
+    def test_defaults_omittable_on_input(self):
+        data = {
+            "name": "L2",
+            "kind": "sram",
+            "size_bytes": 256 * KiB,
+            "latency_ns": 4.8,
+            "bandwidth_gibps": 500.0,
+        }
+        instance = MemoryInstance.from_dict(data)
+        assert instance.block_bytes == 64 and instance.assoc == 8
+
+
+@st.composite
+def instances(draw):
+    """Valid random instances: geometry built from whole sets."""
+    block = draw(st.sampled_from([32, 64, 128]))
+    assoc = draw(st.integers(min_value=0, max_value=16))
+    sets = draw(st.integers(min_value=1, max_value=4096))
+    size = block * max(1, assoc) * sets
+    return MemoryInstance(
+        name=draw(st.sampled_from(["L1", "L2", "L3", "L4", "DRAM"])),
+        kind=draw(st.sampled_from(KINDS)),
+        size_bytes=size,
+        block_bytes=block,
+        assoc=assoc,
+        shared=draw(st.booleans()),
+        banks=draw(st.integers(min_value=1, max_value=32)),
+        latency_ns=draw(
+            st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+        ),
+        bandwidth_gibps=draw(
+            st.floats(min_value=0.1, max_value=2000.0, allow_nan=False)
+        ),
+        area_mib=draw(st.floats(min_value=0.0, max_value=1024.0)),
+        energy_nj=draw(st.floats(min_value=0.0, max_value=100.0)),
+        static_mw_per_mib=draw(st.floats(min_value=0.0, max_value=100.0)),
+    )
+
+
+class TestRoundTripProperty:
+    @given(instances())
+    def test_dict_round_trip_is_lossless(self, instance):
+        assert MemoryInstance.from_dict(instance.to_dict()) == instance

@@ -1,0 +1,209 @@
+"""Validation and lossless serialization of HardwareSpec."""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._units import KiB, MiB
+from repro.errors import ConfigurationError
+from repro.hw import catalog
+from repro.hw.spec import CALIBRATIONS, SCHEMA_VERSION, HardwareSpec
+
+ALL_SPECS = ("plt1", "plt1_simulated", "plt2", "proposed")
+
+
+def spec_named(name: str) -> HardwareSpec:
+    return getattr(catalog, name)()
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("name", ALL_SPECS)
+    def test_catalog_specs_validate(self, name):
+        spec = spec_named(name)
+        assert spec.calibration in CALIBRATIONS
+
+    def test_table2_facts(self):
+        plt1, plt2 = catalog.plt1(), catalog.plt2()
+        assert plt1.l3.size_bytes == 45 * MiB and plt1.l3.assoc == 20
+        assert plt1.total_cores == 36
+        assert plt2.cache_block_bytes == 128
+        assert plt2.l1d.size_bytes == 64 * KiB
+
+    def test_proposed_design_facts(self):
+        spec = catalog.proposed()
+        assert spec.cores_per_socket == 23
+        assert spec.l3.size_bytes == 23 * MiB and spec.l3.assoc == 23
+        assert spec.l4 is not None and spec.l4.size_bytes == 1024 * MiB
+        # The measured power anchor survives the core-count change.
+        assert spec.power_reference_cores == 18
+
+    def test_describe_lists_every_level(self):
+        text = catalog.proposed().describe()
+        for name in ("L1I", "L1D", "L2", "L3", "L4", "DRAM"):
+            assert name in text
+
+
+class TestValidation:
+    def _reject(self, **fields):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(catalog.plt1(), **fields)
+
+    def test_unknown_calibration(self):
+        self._reject(calibration="sparc")
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("name", ""),
+            ("microarchitecture", ""),
+            ("sockets", 0),
+            ("cores_per_socket", 0),
+            ("cores_per_socket", True),
+            ("smt_ways", 0),
+            ("issue_width", 0),
+            ("power_reference_cores", 0),
+            ("frequency_ghz", 0.0),
+            ("core_area_mib", 0.0),
+            ("baseline_socket_watts", 0.0),
+            ("core_fraction_of_socket", 0.0),
+            ("core_fraction_of_socket", 1.0),
+            ("published_tdp_watts", -1.0),
+            ("small_page_bytes", 3000),
+            ("huge_page_bytes", 4 * KiB),  # must exceed small pages
+        ],
+    )
+    def test_each_malformed_scalar_raises(self, field, value):
+        self._reject(**{field: value})
+
+    def test_l1_must_be_sram_and_private(self):
+        base = catalog.plt1()
+        self._reject(l1d=dataclasses.replace(base.l1d, kind="edram"))
+        self._reject(l1i=dataclasses.replace(base.l1i, shared=True))
+
+    def test_l3_and_l4_must_be_shared(self):
+        base = catalog.proposed()
+        with pytest.raises(ConfigurationError, match="shared"):
+            dataclasses.replace(base, l3=dataclasses.replace(base.l3, shared=False))
+        with pytest.raises(ConfigurationError, match="L4"):
+            dataclasses.replace(base, l4=dataclasses.replace(base.l4, shared=False))
+
+    def test_memory_must_be_dram(self):
+        base = catalog.plt1()
+        self._reject(memory=dataclasses.replace(base.memory, kind="sram"))
+
+    def test_uniform_cache_block_size(self):
+        base = catalog.plt1()
+        self._reject(
+            l2=dataclasses.replace(base.l2, block_bytes=128)
+        )
+
+    def test_capacity_monotonicity(self):
+        base = catalog.plt1()
+        # L1 larger than L2.
+        self._reject(l2=dataclasses.replace(base.l2, size_bytes=16 * KiB))
+        # L3 not larger than L2.
+        self._reject(
+            l3=dataclasses.replace(base.l3, size_bytes=256 * KiB, assoc=8)
+        )
+        # L4 must sit between L3 and memory.
+        proposed = catalog.proposed()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(
+                proposed, l4=dataclasses.replace(proposed.l4, size_bytes=16 * MiB)
+            )
+
+    def test_latency_monotonicity(self):
+        base = catalog.plt1()
+        self._reject(l3=dataclasses.replace(base.l3, latency_ns=200.0))
+
+    def test_level_type_enforced(self):
+        self._reject(l3="a 45 MiB cache")
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", ALL_SPECS)
+    def test_dict_round_trip(self, name):
+        spec = spec_named(name)
+        assert HardwareSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", ALL_SPECS)
+    def test_json_round_trip(self, name):
+        spec = spec_named(name)
+        assert HardwareSpec.from_json(spec.to_json()) == spec
+
+    def test_json_is_deterministic(self):
+        assert catalog.plt1().to_json() == catalog.plt1().to_json()
+        assert catalog.plt1().to_json().endswith("\n")
+
+    def test_schema_version_embedded_and_checked(self):
+        data = catalog.plt1().to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        data["schema_version"] = 99
+        with pytest.raises(ConfigurationError, match="schema_version"):
+            HardwareSpec.from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = catalog.plt1().to_dict()
+        data["tdp_watts"] = 165.0
+        with pytest.raises(ConfigurationError, match="tdp_watts"):
+            HardwareSpec.from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = catalog.plt1().to_dict()
+        del data["memory"]
+        with pytest.raises(ConfigurationError, match="memory"):
+            HardwareSpec.from_dict(data)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            HardwareSpec.from_json("{not json")
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigurationError, match="dict"):
+            HardwareSpec.from_dict(json.dumps(catalog.plt1().to_dict()))
+
+    def test_round_trip_revalidates(self):
+        data = catalog.plt1().to_dict()
+        data["l3"] = dict(data["l3"], shared=False)
+        with pytest.raises(ConfigurationError, match="shared"):
+            HardwareSpec.from_dict(data)
+
+
+@st.composite
+def specs(draw):
+    """Valid random variations of the catalog specs.
+
+    Mutates the scalar anchors (never the levels, whose joint invariants
+    the catalog already satisfies) so round trips exercise float/int
+    fidelity across the whole numeric range.
+    """
+    base = spec_named(draw(st.sampled_from(ALL_SPECS)))
+    return dataclasses.replace(
+        base,
+        name=draw(st.sampled_from(["A", "plt-x", "Platform 9"])),
+        sockets=draw(st.integers(min_value=1, max_value=8)),
+        cores_per_socket=draw(st.integers(min_value=1, max_value=64)),
+        smt_ways=draw(st.integers(min_value=1, max_value=8)),
+        issue_width=draw(st.integers(min_value=1, max_value=10)),
+        frequency_ghz=draw(st.floats(min_value=0.5, max_value=5.0)),
+        core_area_mib=draw(st.floats(min_value=0.5, max_value=32.0)),
+        baseline_socket_watts=draw(st.floats(min_value=10.0, max_value=500.0)),
+        core_fraction_of_socket=draw(
+            st.floats(min_value=0.001, max_value=0.999, exclude_min=True)
+        ),
+        power_reference_cores=draw(st.integers(min_value=1, max_value=64)),
+        published_tdp_watts=draw(st.floats(min_value=10.0, max_value=500.0)),
+    )
+
+
+class TestRoundTripProperty:
+    @given(specs())
+    def test_json_round_trip_is_lossless(self, spec):
+        assert HardwareSpec.from_json(spec.to_json()) == spec
+
+    @given(specs())
+    def test_dict_round_trip_is_lossless(self, spec):
+        assert HardwareSpec.from_dict(spec.to_dict()) == spec

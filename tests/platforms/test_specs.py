@@ -1,8 +1,11 @@
 """Tests for platform specs (Table II)."""
 
+import dataclasses
+
 import pytest
 
 from repro._units import KiB, MiB
+from repro.errors import ConfigurationError
 from repro.platforms import PLT1, PLT2
 
 
@@ -54,3 +57,30 @@ class TestTable2:
         assert huge.page_size == 2 * MiB
         small2, huge2 = PLT2.tlb_configs()
         assert huge2.page_size == 16 * MiB
+
+
+class TestNoMagicNameDispatch:
+    """Regression: models derive from fields, never from the name string.
+
+    ``hierarchy()`` used to dispatch on ``name == "PLT1"``, so a renamed
+    copy of PLT1 silently got PLT2's cache hierarchy, and the measured
+    SMT/TLB models fell back the same way.
+    """
+
+    def test_renamed_plt1_keeps_its_hierarchy(self):
+        custom = dataclasses.replace(PLT1, name="CUSTOM")
+        assert custom.hierarchy() == PLT1.hierarchy()
+        assert custom.hierarchy() != PLT2.hierarchy()
+
+    def test_renamed_plt2_keeps_its_hierarchy(self):
+        custom = dataclasses.replace(PLT2, name="CUSTOM")
+        assert custom.hierarchy() == PLT2.hierarchy()
+
+    def test_renamed_spec_keeps_calibrated_models(self):
+        custom = dataclasses.replace(PLT1, name="CUSTOM")
+        assert custom.smt_model() == PLT1.smt_model()
+        assert custom.tlb_configs() == PLT1.tlb_configs()
+
+    def test_unknown_calibration_raises(self):
+        with pytest.raises(ConfigurationError, match="calibration"):
+            dataclasses.replace(PLT1, calibration="sparc")
